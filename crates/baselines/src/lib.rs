@@ -1,0 +1,20 @@
+//! Re-implementations of the three Rust session-type frameworks the paper
+//! benchmarks Rumpsteak against in Fig 6:
+//!
+//! * [`sesh`] — synchronous **binary** session types in the style of
+//!   Sesh [Kokke 2019]: blocking rendezvous communication and a fresh
+//!   channel allocated for every interaction.
+//! * [`mpst`] — synchronous **multiparty** sessions in the style of
+//!   MultiCrusty [Lagaillardie et al. 2020]: a mesh of blocking binary
+//!   channels, one per pair of roles.
+//! * [`ferrite`] — **asynchronous** binary sessions in the style of
+//!   Ferrite [Chen & Balzer 2021]: oneshot channels allocated per step and
+//!   recursion expressed through boxed futures rather than iteration.
+//!
+//! Each module preserves the performance-relevant characteristics the
+//! paper attributes to the original (synchrony, per-interaction channel
+//! creation, recursion style); see DESIGN.md for the substitution notes.
+
+pub mod ferrite;
+pub mod mpst;
+pub mod sesh;

@@ -1,0 +1,76 @@
+//! Ablation of the Appendix B.5 implementation tricks: the fail-early
+//! reduction cut-off.
+//!
+//! On *rejecting* runs, fail-early prunes permanently-stuck derivation
+//! paths as soon as the prefix pair becomes irreducible; without it the
+//! search explores them to the recursion bound. Accepting runs are
+//! unaffected (both configurations find the same derivation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subtyping::SubtypeVisitor;
+use theory::fsm::from_local;
+use theory::local;
+
+fn fsm(text: &str) -> theory::Fsm {
+    from_local(&"r".into(), &local::parse(text).unwrap()).unwrap()
+}
+
+/// A rejecting workload: the unsafe double-buffering direction with n
+/// extra anticipated readys — every path is doomed but only fail-early
+/// notices before the bound.
+fn rejecting_pair(n: usize) -> (theory::Fsm, theory::Fsm) {
+    let mut optimised = String::new();
+    for _ in 0..n {
+        optimised.push_str("s!ready . ");
+    }
+    optimised.push_str("rec x . s!ready . s?value . t?ready . t!value . x");
+    // Swapped: the *projection* is checked against the optimisation, a
+    // genuinely false subtyping.
+    (fsm("rec x . s!ready . s?value . t?ready . t!value . x"), fsm(&optimised))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/fail_early");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for n in [1usize, 2, 4, 8] {
+        let (sub, sup) = rejecting_pair(n);
+        let bound = n + 6;
+        group.bench_with_input(BenchmarkId::new("with-fail-early", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(!SubtypeVisitor::new(&sub, &sup, bound).run());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without-fail-early", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(!SubtypeVisitor::new(&sub, &sup, bound)
+                    .without_fail_early()
+                    .run());
+            })
+        });
+    }
+
+    // Accepting workload: both configurations verify the same optimised
+    // kernel; times should coincide.
+    let optimised = fsm("s!ready . rec x . s!ready . s?value . t?ready . t!value . x");
+    let projected = fsm("rec x . s!ready . s?value . t?ready . t!value . x");
+    group.bench_function("accepting/with-fail-early", |b| {
+        b.iter(|| assert!(SubtypeVisitor::new(&optimised, &projected, 8).run()))
+    });
+    group.bench_function("accepting/without-fail-early", |b| {
+        b.iter(|| {
+            assert!(SubtypeVisitor::new(&optimised, &projected, 8)
+                .without_fail_early()
+                .run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

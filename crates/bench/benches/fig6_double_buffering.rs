@@ -1,0 +1,37 @@
+//! Fig 6 (middle): double buffering throughput across frameworks.
+
+use std::time::Duration;
+
+use bench::protocols::double_buffering;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let rt = executor::Runtime::with_default_threads();
+    let mut group = c.benchmark_group("fig6/double_buffering");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [5000usize, 10000, 15000, 20000, 25000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sesh", n), &n, |b, &n| {
+            b.iter(|| double_buffering::run_sesh(n))
+        });
+        group.bench_with_input(BenchmarkId::new("multicrusty", n), &n, |b, &n| {
+            b.iter(|| double_buffering::run_multicrusty(n))
+        });
+        group.bench_with_input(BenchmarkId::new("ferrite", n), &n, |b, &n| {
+            b.iter(|| double_buffering::run_ferrite(&rt, n))
+        });
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| double_buffering::run_rumpsteak(&rt, n, false))
+        });
+        group.bench_with_input(BenchmarkId::new("rumpsteak-optimised", n), &n, |b, &n| {
+            b.iter(|| double_buffering::run_rumpsteak(&rt, n, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig 6 (right): 8-process FFT throughput vs the sequential baseline.
+
+use std::time::Duration;
+
+use bench::protocols::fft8;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let rt = executor::Runtime::with_default_threads();
+    let mut group = c.benchmark_group("fig6/fft");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1000usize, 2000, 3000, 4000, 5000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sesh", n), &n, |b, &n| {
+            b.iter(|| fft8::run_sesh(n))
+        });
+        group.bench_with_input(BenchmarkId::new("multicrusty", n), &n, |b, &n| {
+            b.iter(|| fft8::run_multicrusty(n))
+        });
+        group.bench_with_input(BenchmarkId::new("ferrite", n), &n, |b, &n| {
+            b.iter(|| fft8::run_ferrite(&rt, n))
+        });
+        group.bench_with_input(BenchmarkId::new("rustfft", n), &n, |b, &n| {
+            b.iter(|| fft8::run_sequential(n))
+        });
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| fft8::run_rumpsteak(&rt, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

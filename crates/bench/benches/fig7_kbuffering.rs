@@ -1,0 +1,30 @@
+//! Fig 7 (right): verifying the k-buffering kernel optimisation.
+
+use std::time::Duration;
+
+use bench::verification::k_buffering;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/k_buffering");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [0usize, 5, 10, 20, 40, 60, 80, 100] {
+        // k-MC's channel bound follows n; cap the sweep where checks stay
+        // tractable (the exponential trend is already visible).
+        if n <= 20 {
+            group.bench_with_input(BenchmarkId::new("kmc", n), &n, |b, &n| {
+                b.iter(|| k_buffering::check_kmc(n))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| k_buffering::check_rumpsteak(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

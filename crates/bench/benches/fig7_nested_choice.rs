@@ -1,0 +1,31 @@
+//! Fig 7 (second): verifying nested choices (Chen et al. [13, Fig 3]).
+
+use std::time::Duration;
+
+use bench::verification::nested_choice;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/nested_choice");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in 1usize..=5 {
+        if n <= 4 {
+            group.bench_with_input(BenchmarkId::new("soundbinary", n), &n, |b, &n| {
+                b.iter(|| nested_choice::check_soundbinary(n))
+            });
+            group.bench_with_input(BenchmarkId::new("kmc", n), &n, |b, &n| {
+                b.iter(|| nested_choice::check_kmc(n))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| nested_choice::check_rumpsteak(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

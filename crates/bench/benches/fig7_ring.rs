@@ -1,0 +1,29 @@
+//! Fig 7 (third): verifying the optimised ring, local vs global analysis.
+
+use std::time::Duration;
+
+use bench::verification::ring;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/ring");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [2usize, 4, 6, 8, 10, 14, 20, 30] {
+        // k-MC explores the product of all n machines: exponential.
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("kmc", n), &n, |b, &n| {
+                b.iter(|| ring::check_kmc(n))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| ring::check_rumpsteak(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

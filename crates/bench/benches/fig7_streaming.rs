@@ -1,0 +1,33 @@
+//! Fig 7 (first): verifying the unrolled streaming source.
+
+use std::time::Duration;
+
+use bench::verification::streaming;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/streaming");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [0usize, 20, 40, 60, 80, 100] {
+        group.bench_with_input(BenchmarkId::new("soundbinary", n), &n, |b, &n| {
+            b.iter(|| streaming::check_soundbinary(n))
+        });
+        // k-MC's configuration space explodes with the channel bound;
+        // keep the sweep where single checks stay under ~seconds.
+        if n <= 40 {
+            group.bench_with_input(BenchmarkId::new("kmc", n), &n, |b, &n| {
+                b.iter(|| streaming::check_kmc(n))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rumpsteak", n), &n, |b, &n| {
+            b.iter(|| streaming::check_rumpsteak(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerates Fig 6 / Appendix C.1: runtime throughput tables.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig6 [streaming|double-buffering|fft]
+//! ```
+//!
+//! Prints one row per parameter value with the throughput (items/µs) of
+//! every framework, in the same format as the paper's raw data tables.
+
+use std::time::Duration;
+
+use bench::protocols::{double_buffering, fft8, streaming};
+use bench::timing::{measure, throughput};
+
+const BUDGET: Duration = Duration::from_millis(300);
+const MAX_RUNS: usize = 50;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let rt = executor::Runtime::with_default_threads();
+    match which.as_str() {
+        "streaming" => table_streaming(&rt),
+        "double-buffering" => table_double_buffering(&rt),
+        "fft" => table_fft(&rt),
+        "all" => {
+            table_streaming(&rt);
+            table_double_buffering(&rt);
+            table_fft(&rt);
+        }
+        other => {
+            eprintln!("unknown table `{other}`; expected streaming|double-buffering|fft|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+fn bench_throughput(items: usize, mut f: impl FnMut()) -> f64 {
+    throughput(items, measure(&mut f, BUDGET, MAX_RUNS))
+}
+
+fn table_streaming(rt: &executor::Runtime) {
+    println!("# Fig 6 / C.1 — Streaming: throughput (n/us) vs values transferred");
+    row(&[
+        "n".into(),
+        "Sesh".into(),
+        "MultiCrusty".into(),
+        "Ferrite".into(),
+        "Rumpsteak".into(),
+        "Rumpsteak(opt)".into(),
+    ]);
+    for n in [10u32, 20, 30, 40, 50] {
+        let items = n as usize;
+        row(&[
+            n.to_string(),
+            format!("{:.6}", bench_throughput(items, || {
+                streaming::run_sesh(n);
+            })),
+            format!("{:.6}", bench_throughput(items, || {
+                streaming::run_multicrusty(n);
+            })),
+            format!("{:.6}", bench_throughput(items, || {
+                streaming::run_ferrite(rt, n);
+            })),
+            format!("{:.6}", bench_throughput(items, || {
+                streaming::run_rumpsteak(rt, n, false);
+            })),
+            format!("{:.6}", bench_throughput(items, || {
+                streaming::run_rumpsteak(rt, n, true);
+            })),
+        ]);
+    }
+    println!();
+}
+
+fn table_double_buffering(rt: &executor::Runtime) {
+    println!("# Fig 6 / C.1 — Double buffering: throughput (n/us) vs buffer size");
+    row(&[
+        "n".into(),
+        "Sesh".into(),
+        "MultiCrusty".into(),
+        "Ferrite".into(),
+        "Rumpsteak".into(),
+        "Rumpsteak(opt)".into(),
+    ]);
+    for n in [5000usize, 10000, 15000, 20000, 25000] {
+        row(&[
+            n.to_string(),
+            format!("{:.6}", bench_throughput(n, || {
+                double_buffering::run_sesh(n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                double_buffering::run_multicrusty(n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                double_buffering::run_ferrite(rt, n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                double_buffering::run_rumpsteak(rt, n, false);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                double_buffering::run_rumpsteak(rt, n, true);
+            })),
+        ]);
+    }
+    println!();
+}
+
+fn table_fft(rt: &executor::Runtime) {
+    println!("# Fig 6 / C.1 — FFT: throughput (n/us) vs matrix columns");
+    row(&[
+        "n".into(),
+        "Sesh".into(),
+        "MultiCrusty".into(),
+        "Ferrite".into(),
+        "RustFFT".into(),
+        "Rumpsteak".into(),
+    ]);
+    for n in [1000usize, 2000, 3000, 4000, 5000] {
+        row(&[
+            n.to_string(),
+            format!("{:.6}", bench_throughput(n, || {
+                fft8::run_sesh(n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                fft8::run_multicrusty(n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                fft8::run_ferrite(rt, n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                fft8::run_sequential(n);
+            })),
+            format!("{:.6}", bench_throughput(n, || {
+                fft8::run_rumpsteak(rt, n);
+            })),
+        ]);
+    }
+    println!();
+}

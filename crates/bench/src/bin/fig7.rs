@@ -1,0 +1,136 @@
+//! Regenerates Fig 7 / Appendix C.2: verification running-time tables.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig7 [streaming|nested-choice|ring|k-buffering]
+//! ```
+//!
+//! Each row reports seconds per check for SoundBinary, k-MC and
+//! Rumpsteak's subtyping algorithm (blank where a tool is inapplicable,
+//! e.g. SoundBinary on multiparty protocols). Parameter ranges follow the
+//! paper; k-MC sweeps are capped once a single check exceeds a second so
+//! the table finishes in reasonable time — the exponential trend is
+//! visible well before the cap.
+
+use std::time::{Duration, Instant};
+
+use bench::verification::{k_buffering, nested_choice, ring, streaming};
+
+const BUDGET: Duration = Duration::from_millis(200);
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "streaming" => table_streaming(),
+        "nested-choice" => table_nested_choice(),
+        "ring" => table_ring(),
+        "k-buffering" => table_k_buffering(),
+        "all" => {
+            table_streaming();
+            table_nested_choice();
+            table_ring();
+            table_k_buffering();
+        }
+        other => {
+            eprintln!(
+                "unknown table `{other}`; expected streaming|nested-choice|ring|k-buffering|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Times one boolean check, asserting it holds.
+fn time_check(mut f: impl FnMut() -> bool) -> f64 {
+    // Warmup + verify.
+    assert!(f(), "verification unexpectedly failed");
+    let mut runs = 0u32;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        runs += 1;
+        if start.elapsed() >= BUDGET || runs >= 100 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / runs as f64
+}
+
+fn fmt(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => format!("{s:.6}"),
+        None => "-".into(),
+    }
+}
+
+fn table_streaming() {
+    println!("# Fig 7 / C.2 — Streaming: seconds vs unrolls");
+    println!("n\tSoundBinary\tk-MC\tRumpsteak");
+    let mut kmc_enabled = true;
+    for n in (0..=100).step_by(10) {
+        let soundbinary = Some(time_check(|| streaming::check_soundbinary(n)));
+        let kmc = if kmc_enabled {
+            let t = time_check(|| streaming::check_kmc(n));
+            if t > 1.0 {
+                kmc_enabled = false;
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let rumpsteak = Some(time_check(|| streaming::check_rumpsteak(n)));
+        println!("{n}\t{}\t{}\t{}", fmt(soundbinary), fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}
+
+fn table_nested_choice() {
+    println!("# Fig 7 / C.2 — Nested choice: seconds vs levels");
+    println!("n\tSoundBinary\tk-MC\tRumpsteak");
+    for n in 1..=5 {
+        let soundbinary = Some(time_check(|| nested_choice::check_soundbinary(n)));
+        let kmc = (n <= 4).then(|| time_check(|| nested_choice::check_kmc(n)));
+        let rumpsteak = Some(time_check(|| nested_choice::check_rumpsteak(n)));
+        println!("{n}\t{}\t{}\t{}", fmt(soundbinary), fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}
+
+fn table_ring() {
+    println!("# Fig 7 / C.2 — Ring: seconds vs participants");
+    println!("n\tk-MC\tRumpsteak");
+    let mut kmc_enabled = true;
+    for n in (2..=30).step_by(2) {
+        let kmc = if kmc_enabled {
+            let t = time_check(|| ring::check_kmc(n));
+            if t > 1.0 {
+                kmc_enabled = false;
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let rumpsteak = Some(time_check(|| ring::check_rumpsteak(n)));
+        println!("{n}\t{}\t{}", fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}
+
+fn table_k_buffering() {
+    println!("# Fig 7 / C.2 — k-buffering: seconds vs unrolls");
+    println!("n\tk-MC\tRumpsteak");
+    let mut kmc_enabled = true;
+    for n in (0..=100).step_by(5) {
+        let kmc = if kmc_enabled {
+            let t = time_check(|| k_buffering::check_kmc(n));
+            if t > 1.0 {
+                kmc_enabled = false;
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let rumpsteak = Some(time_check(|| k_buffering::check_rumpsteak(n)));
+        println!("{n}\t{}\t{}", fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}

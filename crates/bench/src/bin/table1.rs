@@ -1,0 +1,59 @@
+//! Regenerates Table 1: expressiveness of Rumpsteak vs previous work.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1
+//! ```
+//!
+//! Prints the static matrix (framework capability per protocol, as
+//! transcribed from the paper) followed by the *recomputed* verification
+//! verdicts from our own subtyping, k-MC and SoundBinary implementations.
+
+use bench::table1::{dynamic_checks, rows};
+
+fn main() {
+    println!("# Table 1 — expressiveness matrix");
+    println!(
+        "{:<28} {:>2} {:>2}{:>2}{:>3}{:>4}  {:<9} {:<9} {:<11} {:<9} {:<9} {:<11}",
+        "Protocol", "n", "C", "R", "IR", "AMR", "Sesh", "Ferrite", "MultiCrusty", "Rumpsteak",
+        "k-MC", "SoundBinary"
+    );
+    for row in rows() {
+        let flag = |b: bool| if b { "x" } else { " " };
+        println!(
+            "{:<28} {:>2} {:>2}{:>2}{:>3}{:>4}  {:<9} {:<9} {:<11} {:<9} {:<9} {:<11}",
+            row.name,
+            row.participants,
+            flag(row.features[0]),
+            flag(row.features[1]),
+            flag(row.features[2]),
+            flag(row.features[3]),
+            row.support[0].mark(),
+            row.support[1].mark(),
+            row.support[2].mark(),
+            row.support[3].mark(),
+            row.support[4].mark(),
+            row.support[5].mark(),
+        );
+    }
+
+    println!();
+    println!("# Recomputed verification verdicts (our implementations)");
+    println!(
+        "{:<28} {:<10} {:<10} {:<11}",
+        "Protocol", "Rumpsteak", "k-MC", "SoundBinary"
+    );
+    let verdict = |v: Option<bool>| match v {
+        Some(true) => "verified",
+        Some(false) => "REJECTED",
+        None => "-",
+    };
+    for outcome in dynamic_checks() {
+        println!(
+            "{:<28} {:<10} {:<10} {:<11}",
+            outcome.name,
+            verdict(outcome.rumpsteak),
+            verdict(outcome.kmc),
+            verdict(outcome.soundbinary),
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§4):
+//!
+//! * [`protocols`] — runnable implementations of the Fig 6 workloads
+//!   (streaming, double buffering, FFT) in Rumpsteak, Sesh-style,
+//!   MultiCrusty-style and Ferrite-style frameworks,
+//! * [`verification`] — generators for the Fig 7 workloads (streaming
+//!   unrolls, nested choice, ring, k-buffering) targeting the subtyping
+//!   algorithm, k-MC and SoundBinary,
+//! * [`table1`] — the expressiveness matrix of Table 1,
+//! * [`timing`] — a small wall-clock harness used by the `fig6`/`fig7`
+//!   binaries to print the same rows as Appendix C.
+//!
+//! Criterion benches under `benches/` regenerate each figure; the
+//! `fig6`, `fig7` and `table1` binaries print the corresponding tables.
+
+pub mod protocols;
+pub mod table1;
+pub mod timing;
+pub mod verification;

@@ -1,0 +1,336 @@
+//! The 8-process FFT (paper §4.1, Fig 6 right).
+//!
+//! Eight processes each own one column of an `n × 8` matrix and jointly
+//! compute `n` independent 8-point FFTs by three butterfly stages
+//! (partner distances 1, 2, 4), exchanging whole columns by message
+//! passing. The sequential baseline is the RustFFT stand-in from the
+//! `fft` crate.
+//!
+//! Message order within an exchange is send-then-receive for *both*
+//! parties — an asynchronous message reordering that only works because
+//! channels are non-blocking queues; the rendezvous baselines must order
+//! lower-sends-first to avoid deadlock.
+
+use fft::{butterfly_stage, stage_twiddle, Complex};
+use rumpsteak::{messages, roles, try_session, End, Receive, Role, Route, Send};
+
+use baselines::mpst::{link_index, mesh};
+use baselines::sesh::{self, Session as SeshSession};
+
+/// A column exchanged between butterfly partners.
+pub struct Data(pub Vec<Complex>);
+
+messages! {
+    enum FftLabel { Data(Data): column }
+}
+
+roles! {
+    message FftLabel;
+    P0 { d1: P1, d2: P2, d4: P4 },
+    P1 { d1: P0, d2: P3, d4: P5 },
+    P2 { d1: P3, d2: P0, d4: P6 },
+    P3 { d1: P2, d2: P1, d4: P7 },
+    P4 { d1: P5, d2: P6, d4: P0 },
+    P5 { d1: P4, d2: P7, d4: P1 },
+    P6 { d1: P7, d2: P4, d4: P2 },
+    P7 { d1: P6, d2: P5, d4: P3 },
+}
+
+/// One stage: send my column, receive the partner's.
+type Exchange<'q, Q, P, S> = Send<'q, Q, P, Data, Receive<'q, Q, P, Data, S>>;
+
+/// The whole per-process session: three exchanges then end.
+type FftSession<'q, Q, A, B, C> =
+    Exchange<'q, Q, A, Exchange<'q, Q, B, Exchange<'q, Q, C, End<'q, Q>>>>;
+
+/// Runs one process's three butterfly stages over its typed session.
+async fn process<Q, A, B, C>(
+    role: &mut Q,
+    index: usize,
+    mut data: Vec<Complex>,
+) -> rumpsteak::Result<Vec<Complex>>
+where
+    Q: Role<Message = FftLabel> + Route<A> + Route<B> + Route<C>,
+{
+    try_session(role, |s: FftSession<'_, Q, A, B, C>| async move {
+        let s = s.send(Data(data.clone())).await?;
+        let (Data(partner), s) = s.receive().await?;
+        combine(&mut data, &partner, index, 1);
+
+        let s = s.send(Data(data.clone())).await?;
+        let (Data(partner), s) = s.receive().await?;
+        combine(&mut data, &partner, index, 2);
+
+        let s = s.send(Data(data.clone())).await?;
+        let (Data(partner), end) = s.receive().await?;
+        combine(&mut data, &partner, index, 4);
+
+        Ok((data, end))
+    })
+    .await
+}
+
+fn combine(mine: &mut [Complex], partner: &[Complex], index: usize, distance: usize) {
+    let is_lower = index & distance == 0;
+    let twiddle = stage_twiddle(index, distance, 8);
+    butterfly_stage(mine, partner, twiddle, is_lower);
+}
+
+/// Deterministic input matrix: 8 columns of `rows` values.
+pub fn input(rows: usize) -> Vec<Vec<Complex>> {
+    (0..8)
+        .map(|c| {
+            (0..rows)
+                .map(|r| Complex::new((c * rows + r) as f64 % 97.0, ((c + r) as f64 * 0.37).sin()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Bit-reversed initial distribution: process `i` starts with column
+/// `bitrev3(i)`, as the iterative Cooley–Tukey recursion requires.
+fn distribute(columns: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+    (0..8)
+        .map(|i: usize| columns[i.reverse_bits() >> (usize::BITS - 3)].clone())
+        .collect()
+}
+
+/// Aggregates a transformed matrix into a scalar for cross-checking.
+pub fn checksum(columns: &[Vec<Complex>]) -> f64 {
+    columns
+        .iter()
+        .flat_map(|c| c.iter())
+        .map(|z| z.norm())
+        .sum()
+}
+
+/// Sequential baseline (RustFFT stand-in): row-wise 8-point FFTs.
+pub fn run_sequential(rows: usize) -> Vec<Vec<Complex>> {
+    let mut columns = input(rows);
+    fft::fft_columns_8(&mut columns);
+    columns
+}
+
+/// Runs the 8-process Rumpsteak version; returns the transformed columns.
+pub fn run_rumpsteak(rt: &executor::Runtime, rows: usize) -> Vec<Vec<Complex>> {
+    let columns = distribute(&input(rows));
+    let (mut p0, mut p1, mut p2, mut p3, mut p4, mut p5, mut p6, mut p7) = connect();
+    let mut data = columns.into_iter();
+    let (c0, c1, c2, c3, c4, c5, c6, c7) = (
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+        data.next().unwrap(),
+    );
+    let tasks = (
+        rt.spawn(async move { process::<P0, P1, P2, P4>(&mut p0, 0, c0).await }),
+        rt.spawn(async move { process::<P1, P0, P3, P5>(&mut p1, 1, c1).await }),
+        rt.spawn(async move { process::<P2, P3, P0, P6>(&mut p2, 2, c2).await }),
+        rt.spawn(async move { process::<P3, P2, P1, P7>(&mut p3, 3, c3).await }),
+        rt.spawn(async move { process::<P4, P5, P6, P0>(&mut p4, 4, c4).await }),
+        rt.spawn(async move { process::<P5, P4, P7, P1>(&mut p5, 5, c5).await }),
+        rt.spawn(async move { process::<P6, P7, P4, P2>(&mut p6, 6, c6).await }),
+        rt.spawn(async move { process::<P7, P6, P5, P3>(&mut p7, 7, c7).await }),
+    );
+    vec![
+        rt.block_on(tasks.0).unwrap().unwrap(),
+        rt.block_on(tasks.1).unwrap().unwrap(),
+        rt.block_on(tasks.2).unwrap().unwrap(),
+        rt.block_on(tasks.3).unwrap().unwrap(),
+        rt.block_on(tasks.4).unwrap().unwrap(),
+        rt.block_on(tasks.5).unwrap().unwrap(),
+        rt.block_on(tasks.6).unwrap().unwrap(),
+        rt.block_on(tasks.7).unwrap().unwrap(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Sesh-style: binary rendezvous sessions per stage; the lower process of
+// each pair must send first (rendezvous cannot reorder).
+// ---------------------------------------------------------------------
+
+type LowerExchange = sesh::Send<Vec<Complex>, sesh::Recv<Vec<Complex>, sesh::End>>;
+
+enum SeshEndpoint {
+    Lower(LowerExchange),
+    Upper(<LowerExchange as SeshSession>::Dual),
+}
+
+/// Runs the FFT with Sesh-style rendezvous sessions on 8 OS threads.
+pub fn run_sesh(rows: usize) -> Vec<Vec<Complex>> {
+    let columns = distribute(&input(rows));
+    // endpoints[i] = the three per-stage endpoints of process i.
+    let mut endpoints: Vec<Vec<SeshEndpoint>> = (0..8).map(|_| Vec::new()).collect();
+    for distance in [1usize, 2, 4] {
+        for i in 0..8 {
+            if i & distance == 0 {
+                let (lower, upper) = LowerExchange::new_pair();
+                endpoints[i].push(SeshEndpoint::Lower(lower));
+                endpoints[i ^ distance].push(SeshEndpoint::Upper(upper));
+            }
+        }
+    }
+    // Per-process endpoints were pushed stage-major for lowers but the
+    // upper of stage d is pushed when its lower is visited, which is the
+    // same stage loop — order per process is stage 1, 2, 4 for everyone.
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .enumerate()
+        .zip(columns)
+        .map(|((index, stages), mut data)| {
+            std::thread::spawn(move || {
+                for (stage, endpoint) in stages.into_iter().enumerate() {
+                    let distance = 1usize << stage;
+                    let partner = match endpoint {
+                        SeshEndpoint::Lower(s) => {
+                            let s = s.send(data.clone()).unwrap();
+                            let (partner, end) = s.recv().unwrap();
+                            end.close();
+                            partner
+                        }
+                        SeshEndpoint::Upper(s) => {
+                            let (partner, s) = s.recv().unwrap();
+                            let end = s.send(data.clone()).unwrap();
+                            end.close();
+                            partner
+                        }
+                    };
+                    combine(&mut data, &partner, index, distance);
+                }
+                data
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+// ---------------------------------------------------------------------
+// MultiCrusty-style: synchronous mesh; same lower-first discipline.
+// ---------------------------------------------------------------------
+
+/// Runs the FFT over the synchronous multiparty mesh.
+pub fn run_multicrusty(rows: usize) -> Vec<Vec<Complex>> {
+    let columns = distribute(&input(rows));
+    let roles = mesh::<Vec<Complex>, 8>();
+    let handles: Vec<_> = roles
+        .into_iter()
+        .enumerate()
+        .zip(columns)
+        .map(|((index, links), mut data)| {
+            std::thread::spawn(move || {
+                for distance in [1usize, 2, 4] {
+                    let partner_index = index ^ distance;
+                    let link = &links[link_index(index, partner_index)];
+                    let partner = if index & distance == 0 {
+                        link.send(data.clone()).unwrap();
+                        link.recv().unwrap()
+                    } else {
+                        let partner = link.recv().unwrap();
+                        link.send(data.clone()).unwrap();
+                        partner
+                    };
+                    combine(&mut data, &partner, index, distance);
+                }
+                data
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Ferrite-style: asynchronous per-stage oneshot exchanges.
+// ---------------------------------------------------------------------
+
+/// Runs the FFT with Ferrite-style oneshot exchanges on the async
+/// runtime.
+pub fn run_ferrite(rt: &executor::Runtime, rows: usize) -> Vec<Vec<Complex>> {
+    use executor::channel::{oneshot, OneshotReceiver, OneshotSender};
+
+    let columns = distribute(&input(rows));
+    // A fresh oneshot pair per directed exchange per stage.
+    let mut senders: Vec<Vec<Option<OneshotSender<Vec<Complex>>>>> =
+        (0..8).map(|_| (0..3).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<OneshotReceiver<Vec<Complex>>>>> =
+        (0..8).map(|_| (0..3).map(|_| None).collect()).collect();
+    for (stage, distance) in [1usize, 2, 4].into_iter().enumerate() {
+        for i in 0..8 {
+            let (tx, rx) = oneshot();
+            senders[i][stage] = Some(tx);
+            receivers[i ^ distance][stage] = Some(rx);
+        }
+    }
+
+    let tasks: Vec<_> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .zip(columns)
+        .map(|((index, (mut txs, mut rxs)), mut data)| {
+            rt.spawn(async move {
+                for (stage, distance) in [1usize, 2, 4].into_iter().enumerate() {
+                    txs[stage].take().unwrap().send(data.clone());
+                    let partner = rxs[stage].take().unwrap().await.unwrap();
+                    combine(&mut data, &partner, index, distance);
+                }
+                data
+            })
+        })
+        .collect();
+    tasks
+        .into_iter()
+        .map(|t| rt.block_on(t).unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_matrix_close(a: &[Vec<Complex>], b: &[Vec<Complex>]) {
+        assert_eq!(a.len(), b.len());
+        for (col_a, col_b) in a.iter().zip(b) {
+            assert_eq!(col_a.len(), col_b.len());
+            for (x, y) in col_a.iter().zip(col_b) {
+                assert!(
+                    (x.re - y.re).abs() < 1e-6 && (x.im - y.im).abs() < 1e-6,
+                    "{x:?} != {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_frameworks_match_sequential() {
+        let rt = executor::Runtime::new(2);
+        let rows = 32;
+        let expected = run_sequential(rows);
+        assert_matrix_close(&run_rumpsteak(&rt, rows), &expected);
+        assert_matrix_close(&run_sesh(rows), &expected);
+        assert_matrix_close(&run_multicrusty(rows), &expected);
+        assert_matrix_close(&run_ferrite(&rt, rows), &expected);
+    }
+
+    /// The send-before-receive exchange of every process is safe: verify
+    /// the 8-machine system bottom-up with k-MC (k = 1 suffices — one
+    /// column is in flight per channel).
+    #[test]
+    fn exchange_system_is_kmc_safe() {
+        let system = kmc::System::new(vec![
+            rumpsteak::serialize::<FftSession<'static, P0, P1, P2, P4>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P1, P0, P3, P5>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P2, P3, P0, P6>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P3, P2, P1, P7>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P4, P5, P6, P0>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P5, P4, P7, P1>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P6, P7, P4, P2>>().unwrap(),
+            rumpsteak::serialize::<FftSession<'static, P7, P6, P5, P3>>().unwrap(),
+        ])
+        .unwrap();
+        kmc::check(&system, 1).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! Runnable implementations of the Fig 6 runtime workloads.
+//!
+//! Each submodule implements one protocol in every framework compared by
+//! the paper and exposes `run_*` entry points returning a checksum so the
+//! benchmarks can verify all implementations compute the same thing.
+
+pub mod double_buffering;
+pub mod fft8;
+pub mod streaming;

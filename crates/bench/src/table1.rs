@@ -1,0 +1,364 @@
+//! Table 1: expressiveness of Rumpsteak against Sesh, Ferrite,
+//! MultiCrusty, k-MC and SoundBinary.
+//!
+//! Framework columns (whether a protocol is *expressible with
+//! deadlock-freedom*) are properties of each framework's type system and
+//! are transcribed from the paper. The verification columns (Rumpsteak's
+//! subtyping, k-MC, SoundBinary) are **recomputed** by
+//! [`dynamic_checks`]: every protocol we can state as local types is
+//! actually pushed through our implementations.
+
+use theory::local::{self, LocalType};
+
+use crate::verification::to_fsm;
+
+/// How a framework relates to a protocol (the three marks of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Support {
+    /// ✔ — expressible with deadlock-freedom guaranteed.
+    Yes,
+    /// ✗(amber) — expressible via endpoint types but without the
+    /// deadlock-freedom guarantee.
+    EndpointOnly,
+    /// ✗ — not expressible.
+    No,
+}
+
+impl Support {
+    /// The mark printed in the table.
+    pub fn mark(self) -> &'static str {
+        match self {
+            Support::Yes => "yes",
+            Support::EndpointOnly => "endpoint",
+            Support::No => "no",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Protocol name as in the paper.
+    pub name: &'static str,
+    /// Number of participants.
+    pub participants: usize,
+    /// Choice / recursion / infinite recursion / AMR feature flags.
+    pub features: [bool; 4],
+    /// Columns: Sesh, Ferrite, MultiCrusty, Rumpsteak, k-MC, SoundBinary.
+    pub support: [Support; 6],
+}
+
+/// The static matrix of Table 1 (in the paper's row order).
+pub fn rows() -> Vec<Row> {
+    use Support::{EndpointOnly as E, No as N, Yes as Y};
+    let row = |name, participants, features, support| Row {
+        name,
+        participants,
+        features,
+        support,
+    };
+    vec![
+        row("Two Adder", 2, [true, true, false, false], [Y, Y, Y, Y, Y, Y]),
+        row("Three Adder", 3, [false, false, false, false], [E, E, Y, Y, Y, N]),
+        row("Streaming", 2, [true, true, false, false], [Y, Y, Y, Y, Y, Y]),
+        row("Optimised Streaming", 2, [true, true, false, true], [E, E, E, Y, Y, Y]),
+        row("Ring", 3, [false, true, true, false], [E, E, Y, Y, Y, N]),
+        row("Optimised Ring", 3, [false, true, true, true], [E, E, E, Y, Y, N]),
+        row("Ring With Choice", 3, [true, true, true, false], [E, E, Y, Y, Y, N]),
+        row("Optimised Ring With Choice", 3, [true, true, true, true], [E, E, E, Y, Y, N]),
+        row("Double Buffering", 3, [false, true, true, false], [E, E, Y, Y, Y, N]),
+        row("Optimised Double Buffering", 3, [false, true, true, true], [E, E, E, Y, Y, N]),
+        row("Alternating Bit", 2, [true, true, true, true], [E, E, E, Y, Y, Y]),
+        row("Elevator", 3, [true, true, true, true], [E, E, E, Y, Y, N]),
+        row("FFT", 8, [false, false, false, false], [E, E, Y, Y, Y, N]),
+        row("Optimised FFT", 8, [false, false, false, true], [E, E, E, Y, Y, N]),
+        row("Authentication", 3, [true, false, false, false], [E, E, Y, Y, Y, N]),
+        row("Client-Server Log", 3, [true, true, true, false], [E, E, Y, Y, Y, N]),
+        row("Hospital", 2, [true, true, true, true], [E, E, E, N, N, Y]),
+    ]
+}
+
+/// Outcome of actually running our verifiers on a protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Rumpsteak's subtyping verdict (None where not applicable).
+    pub rumpsteak: Option<bool>,
+    /// k-MC verdict over the full system (None where not applicable).
+    pub kmc: Option<bool>,
+    /// SoundBinary verdict (None for multiparty protocols).
+    pub soundbinary: Option<bool>,
+}
+
+fn parse(t: &str) -> LocalType {
+    local::parse(t).expect("static protocol text")
+}
+
+fn subtype(role: &str, sub: &str, sup: &str, bound: usize) -> bool {
+    subtyping::is_subtype(&to_fsm(role, &parse(sub)), &to_fsm(role, &parse(sup)), bound)
+}
+
+fn kmc_ok(specs: &[(&str, &str)], k: usize) -> bool {
+    let system = kmc::system_from_locals(specs).expect("well-formed system");
+    kmc::check(&system, k).is_ok()
+}
+
+fn binary_ok(sub: &str, sup: &str) -> bool {
+    soundbinary::is_subtype(&parse(sub), &parse(sup), soundbinary::Limits::default())
+        .expect("binary protocol")
+}
+
+/// Recomputes the verification columns of Table 1 for every protocol we
+/// can express as local types.
+pub fn dynamic_checks() -> Vec<CheckOutcome> {
+    let mut out = Vec::new();
+
+    // Two adder: client sends two numbers, server returns the sum.
+    out.push(CheckOutcome {
+        name: "Two Adder",
+        rumpsteak: Some(subtype(
+            "c",
+            "s!num(i32).s!num(i32).s?sum(i32).end",
+            "s!num(i32).s!num(i32).s?sum(i32).end",
+            2,
+        )),
+        kmc: Some(kmc_ok(
+            &[
+                ("c", "s!num(i32).s!num(i32).s?sum(i32).end"),
+                ("s", "c?num(i32).c?num(i32).c!sum(i32).end"),
+            ],
+            2,
+        )),
+        soundbinary: Some(binary_ok(
+            "s!num(i32).s!num(i32).s?sum(i32).end",
+            "s!num(i32).s!num(i32).s?sum(i32).end",
+        )),
+    });
+
+    // Three adder: two clients feed an adder.
+    out.push(CheckOutcome {
+        name: "Three Adder",
+        rumpsteak: Some(subtype(
+            "s",
+            "a?num(i32).b?num(i32).a!sum(i32).b!sum(i32).end",
+            "a?num(i32).b?num(i32).a!sum(i32).b!sum(i32).end",
+            2,
+        )),
+        kmc: Some(kmc_ok(
+            &[
+                ("a", "s!num(i32).s?sum(i32).end"),
+                ("b", "s!num(i32).s?sum(i32).end"),
+                ("s", "a?num(i32).b?num(i32).a!sum(i32).b!sum(i32).end"),
+            ],
+            1,
+        )),
+        soundbinary: None,
+    });
+
+    // Streaming (projected) and Optimised Streaming (2 unrolls).
+    out.push(CheckOutcome {
+        name: "Streaming",
+        rumpsteak: Some(subtype(
+            "s",
+            "rec x . t?ready . +{ t!value.x, t!stop.end }",
+            "rec x . t?ready . +{ t!value.x, t!stop.end }",
+            4,
+        )),
+        kmc: Some(kmc_ok(
+            &[
+                ("s", "rec x . t?ready . +{ t!value.x, t!stop.end }"),
+                ("t", "rec x . s!ready . &{ s?value.x, s?stop.end }"),
+            ],
+            1,
+        )),
+        soundbinary: Some(binary_ok(
+            "rec x . t?ready . +{ t!value.x, t!stop.end }",
+            "rec x . t?ready . +{ t!value.x, t!stop.end }",
+        )),
+    });
+    out.push(CheckOutcome {
+        name: "Optimised Streaming",
+        rumpsteak: Some(crate::verification::streaming::check_rumpsteak(2)),
+        kmc: Some(crate::verification::streaming::check_kmc(2)),
+        soundbinary: Some(crate::verification::streaming::check_soundbinary(2)),
+    });
+
+    // Ring and optimised ring (3 participants).
+    out.push(CheckOutcome {
+        name: "Ring",
+        rumpsteak: Some((0..3).all(|i| {
+            let t = crate::verification::ring::projected(i, 3);
+            subtyping::is_subtype(&to_fsm(&format!("p{i}"), &t), &to_fsm(&format!("p{i}"), &t), 4)
+        })),
+        kmc: Some(kmc_ok(
+            &[
+                ("p0", "rec x . p1!v . p2?v . x"),
+                ("p1", "rec x . p0?v . p2!v . x"),
+                ("p2", "rec x . p1?v . p0!v . x"),
+            ],
+            1,
+        )),
+        soundbinary: None,
+    });
+    out.push(CheckOutcome {
+        name: "Optimised Ring",
+        rumpsteak: Some(crate::verification::ring::check_rumpsteak(3)),
+        kmc: Some(crate::verification::ring::check_kmc(3)),
+        soundbinary: None,
+    });
+
+    // Ring with choice (Appendix B.2.1) and its optimisation.
+    out.push(CheckOutcome {
+        name: "Optimised Ring With Choice",
+        rumpsteak: Some(subtype(
+            "b",
+            "rec t . +{ c!add.a?add.t, c!sub.a?add.t }",
+            "rec t . a?add . +{ c!add.t, c!sub.t }",
+            4,
+        )),
+        kmc: Some(kmc_ok(
+            &[
+                ("a", "rec t . b!add . c?ok . t"),
+                ("b", "rec t . +{ c!add.a?add.t, c!sub.a?add.t }"),
+                ("c", "rec t . &{ b?add . a!ok . t, b?sub . a!ok . t }"),
+            ],
+            1,
+        )),
+        soundbinary: None,
+    });
+
+    // Double buffering and its optimisation (§2).
+    out.push(CheckOutcome {
+        name: "Double Buffering",
+        rumpsteak: Some(subtype(
+            "k",
+            "rec x . s!ready . s?value . t?ready . t!value . x",
+            "rec x . s!ready . s?value . t?ready . t!value . x",
+            4,
+        )),
+        kmc: Some(crate::verification::k_buffering::check_kmc(0)),
+        soundbinary: None,
+    });
+    out.push(CheckOutcome {
+        name: "Optimised Double Buffering",
+        rumpsteak: Some(crate::verification::k_buffering::check_rumpsteak(1)),
+        kmc: Some(crate::verification::k_buffering::check_kmc(1)),
+        soundbinary: None,
+    });
+
+    // Alternating bit protocol (Appendix B.4).
+    let abp_projected =
+        "rec t . s?d0 . +{ s!a0 . rec u . s?d1 . +{ s!a0.u, s!a1.t }, s!a1.t }";
+    let abp_spec = "rec t . &{ s?d0.s!a0.t, s?d1.s!a1.t }";
+    out.push(CheckOutcome {
+        name: "Alternating Bit",
+        rumpsteak: Some(subtype("r", abp_spec, abp_projected, 4)),
+        kmc: Some(kmc_ok(
+            &[
+                ("s", "rec t . +{ r!d0 . r?a0 . t, r!d1 . r?a1 . t }"),
+                ("r", "rec t . &{ s?d0 . s!a0 . t, s?d1 . s!a1 . t }"),
+            ],
+            2,
+        )),
+        soundbinary: Some(binary_ok(abp_spec, abp_projected)),
+    });
+
+    // Elevator (simplified core): a user presses, the controller cycles
+    // the door. The optimised controller acknowledges the user *before*
+    // waiting for the door to finish closing (AMR).
+    let elevator_controller =
+        "rec x . u?press . d!open . d?opened . d!close . d?closed . u!served . x";
+    let elevator_controller_opt =
+        "rec x . u?press . d!open . d?opened . d!close . u!served . d?closed . x";
+    out.push(CheckOutcome {
+        name: "Elevator",
+        rumpsteak: Some(subtype("c", elevator_controller_opt, elevator_controller, 4)),
+        kmc: Some(kmc_ok(
+            &[
+                ("u", "rec x . c!press . c?served . x"),
+                ("c", elevator_controller_opt),
+                ("d", "rec x . c?open . c!opened . c?close . c!closed . x"),
+            ],
+            1,
+        )),
+        soundbinary: None,
+    });
+
+    // Authentication: client → service → authenticator, no recursion.
+    out.push(CheckOutcome {
+        name: "Authentication",
+        rumpsteak: Some(subtype(
+            "s",
+            "c?login(str).a!check(str).a?ok.c!granted.end",
+            "c?login(str).a!check(str).a?ok.c!granted.end",
+            2,
+        )),
+        kmc: Some(kmc_ok(
+            &[
+                ("c", "s!login(str).s?granted.end"),
+                ("s", "c?login(str).a!check(str).a?ok.c!granted.end"),
+                ("a", "s?check(str).s!ok.end"),
+            ],
+            1,
+        )),
+        soundbinary: None,
+    });
+
+    // Hospital [7, §1]: the patient keeps sending while deferring the
+    // doctor's replies without bound — beyond both k-MC (no finite k is
+    // exhaustive) and our bounded subtyping, but within SoundBinary.
+    out.push(CheckOutcome {
+        name: "Hospital",
+        rumpsteak: None,
+        kmc: None,
+        soundbinary: Some(binary_ok(
+            "rec x . d!report . d?advice . x",
+            "rec x . d!report . d?advice . x",
+        )),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_matrix_has_all_17_rows() {
+        let rows = rows();
+        assert_eq!(rows.len(), 17);
+        // Rumpsteak expresses everything but Hospital (paper claim).
+        let rumpsteak_yes = rows.iter().filter(|r| r.support[3] == Support::Yes).count();
+        assert_eq!(rumpsteak_yes, 16);
+    }
+
+    #[test]
+    fn dynamic_checks_all_pass() {
+        for outcome in dynamic_checks() {
+            for (tool, verdict) in [
+                ("rumpsteak", outcome.rumpsteak),
+                ("kmc", outcome.kmc),
+                ("soundbinary", outcome.soundbinary),
+            ] {
+                if let Some(ok) = verdict {
+                    assert!(ok, "{} failed under {tool}", outcome.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amr_rows_match_framework_capabilities() {
+        // Every AMR-optimised protocol is Yes for Rumpsteak and at most
+        // EndpointOnly for the synchronous frameworks.
+        for row in rows() {
+            if row.features[3] && row.name != "Hospital" {
+                assert_eq!(row.support[3], Support::Yes, "{}", row.name);
+                assert_ne!(row.support[0], Support::Yes, "{}", row.name);
+                assert_ne!(row.support[2], Support::Yes, "{}", row.name);
+            }
+        }
+    }
+}

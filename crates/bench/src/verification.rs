@@ -1,0 +1,451 @@
+//! Generators for the Fig 7 verification benchmarks.
+//!
+//! Each family produces the candidate-subtype/supertype pair checked by
+//! Rumpsteak's algorithm and SoundBinary, and the FSM system checked by
+//! k-MC, for a given scale parameter `n`.
+
+use theory::local::LocalType;
+use theory::name::Name;
+use theory::sort::Sort;
+use theory::{fsm, Fsm};
+
+/// Converts a local type to an FSM for the given role.
+pub fn to_fsm(role: &str, local: &LocalType) -> Fsm {
+    fsm::from_local(&Name::from(role), local).expect("generated types are well-formed")
+}
+
+/// Syntactic dual of a *binary* local type: swaps sends and receives.
+pub fn dual(t: &LocalType) -> LocalType {
+    match t {
+        LocalType::End => LocalType::End,
+        LocalType::Var(v) => LocalType::Var(v.clone()),
+        LocalType::Rec { var, body } => LocalType::Rec {
+            var: var.clone(),
+            body: Box::new(dual(body)),
+        },
+        LocalType::Select { peer, branches } => LocalType::Branch {
+            peer: peer.clone(),
+            branches: branches
+                .iter()
+                .map(|b| theory::local::LocalBranch {
+                    label: b.label.clone(),
+                    sort: b.sort.clone(),
+                    continuation: dual(&b.continuation),
+                })
+                .collect(),
+        },
+        LocalType::Branch { peer, branches } => LocalType::Select {
+            peer: peer.clone(),
+            branches: branches
+                .iter()
+                .map(|b| theory::local::LocalBranch {
+                    label: b.label.clone(),
+                    sort: b.sort.clone(),
+                    continuation: dual(&b.continuation),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Fig 7 (left): the streaming protocol with `n` unrolled values.
+pub mod streaming {
+    use super::*;
+
+    /// Projected source: `μx. t?ready. t!value. x`.
+    pub fn projected() -> LocalType {
+        LocalType::rec(
+            "x",
+            LocalType::receive(
+                "t",
+                "ready",
+                Sort::Unit,
+                LocalType::send("t", "value", Sort::Unit, LocalType::Var("x".into())),
+            ),
+        )
+    }
+
+    /// Optimised source: `t!value^n . μx. t?ready. t!value. x`.
+    pub fn optimised(unrolls: usize) -> LocalType {
+        let mut t = projected();
+        for _ in 0..unrolls {
+            t = LocalType::send("t", "value", Sort::Unit, t);
+        }
+        t
+    }
+
+    /// The sink: `μx. s!ready. s?value. x` (peer named `s`).
+    pub fn sink() -> LocalType {
+        LocalType::rec(
+            "x",
+            LocalType::send(
+                "s",
+                "ready",
+                Sort::Unit,
+                LocalType::receive("s", "value", Sort::Unit, LocalType::Var("x".into())),
+            ),
+        )
+    }
+
+    /// Rumpsteak check: optimised ≤ projected with bound `n + 4`.
+    pub fn check_rumpsteak(unrolls: usize) -> bool {
+        subtyping::is_subtype(
+            &to_fsm("s", &optimised(unrolls)),
+            &to_fsm("s", &projected()),
+            unrolls + 4,
+        )
+    }
+
+    /// SoundBinary check on the same pair.
+    pub fn check_soundbinary(unrolls: usize) -> bool {
+        soundbinary::is_subtype(
+            &optimised(unrolls),
+            &projected(),
+            soundbinary::Limits::default(),
+        )
+        .expect("binary by construction")
+    }
+
+    /// k-MC check of the optimised source against the sink; the channel
+    /// bound must cover the unrolled values.
+    pub fn check_kmc(unrolls: usize) -> bool {
+        let system = kmc::System::new(vec![
+            to_fsm("s", &rename_peer(&optimised(unrolls), "t")),
+            to_fsm("t", &sink()),
+        ])
+        .expect("two distinct roles");
+        kmc::check(&system, unrolls + 1).is_ok()
+    }
+
+    /// Renames the single peer of a binary type (helper so that the
+    /// source's peer is the sink's role name).
+    fn rename_peer(t: &LocalType, _peer: &str) -> LocalType {
+        t.clone()
+    }
+}
+
+/// Fig 7 (second): nested choice (Chen et al. [13, Fig 3]).
+pub mod nested_choice {
+    use super::*;
+
+    /// `T_n`: the candidate subtype.
+    pub fn subtype(levels: usize) -> LocalType {
+        if levels == 0 {
+            return LocalType::End;
+        }
+        let t = subtype(levels - 1);
+        LocalType::select(
+            "p",
+            [
+                (
+                    "m".into(),
+                    Sort::Unit,
+                    LocalType::branch(
+                        "p",
+                        [
+                            ("r".into(), Sort::Unit, t.clone()),
+                            ("s".into(), Sort::Unit, t.clone()),
+                            ("u".into(), Sort::Unit, t.clone()),
+                        ],
+                    ),
+                ),
+                (
+                    "p".into(),
+                    Sort::Unit,
+                    LocalType::branch(
+                        "p",
+                        [
+                            ("r".into(), Sort::Unit, t.clone()),
+                            ("s".into(), Sort::Unit, t.clone()),
+                        ],
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// `T'_n`: the supertype.
+    pub fn supertype(levels: usize) -> LocalType {
+        if levels == 0 {
+            return LocalType::End;
+        }
+        let t = supertype(levels - 1);
+        LocalType::branch(
+            "p",
+            [
+                (
+                    "r".into(),
+                    Sort::Unit,
+                    LocalType::select(
+                        "p",
+                        [
+                            ("m".into(), Sort::Unit, t.clone()),
+                            ("p".into(), Sort::Unit, t.clone()),
+                            ("q".into(), Sort::Unit, t.clone()),
+                        ],
+                    ),
+                ),
+                (
+                    "s".into(),
+                    Sort::Unit,
+                    LocalType::select(
+                        "p",
+                        [
+                            ("m".into(), Sort::Unit, t.clone()),
+                            ("p".into(), Sort::Unit, t.clone()),
+                        ],
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// Rumpsteak check: `T_n ≤ T'_n`.
+    pub fn check_rumpsteak(levels: usize) -> bool {
+        subtyping::is_subtype(
+            &to_fsm("a", &subtype(levels)),
+            &to_fsm("a", &supertype(levels)),
+            levels + 2,
+        )
+    }
+
+    /// SoundBinary check on the same pair.
+    pub fn check_soundbinary(levels: usize) -> bool {
+        soundbinary::is_subtype(
+            &subtype(levels),
+            &supertype(levels),
+            soundbinary::Limits::default(),
+        )
+        .expect("binary by construction")
+    }
+
+    /// k-MC check of `T_n` against the dual of `T'_n`.
+    pub fn check_kmc(levels: usize) -> bool {
+        let sub = subtype(levels);
+        let partner = dual(&supertype(levels));
+        // Rename: sub talks to "p"; make the machines "a" and "p".
+        let system = kmc::System::new(vec![
+            to_fsm("a", &retarget(&sub, "p")),
+            to_fsm("p", &retarget(&partner, "a")),
+        ])
+        .expect("two distinct roles");
+        kmc::check(&system, levels.max(1)).is_ok()
+    }
+
+    fn retarget(t: &LocalType, peer: &str) -> LocalType {
+        let peer = Name::from(peer);
+        match t {
+            LocalType::End => LocalType::End,
+            LocalType::Var(v) => LocalType::Var(v.clone()),
+            LocalType::Rec { var, body } => LocalType::Rec {
+                var: var.clone(),
+                body: Box::new(retarget(body, peer.as_str())),
+            },
+            LocalType::Select { branches, .. } => LocalType::Select {
+                peer: peer.clone(),
+                branches: branches
+                    .iter()
+                    .map(|b| theory::local::LocalBranch {
+                        label: b.label.clone(),
+                        sort: b.sort.clone(),
+                        continuation: retarget(&b.continuation, peer.as_str()),
+                    })
+                    .collect(),
+            },
+            LocalType::Branch { branches, .. } => LocalType::Branch {
+                peer: peer.clone(),
+                branches: branches
+                    .iter()
+                    .map(|b| theory::local::LocalBranch {
+                        label: b.label.clone(),
+                        sort: b.sort.clone(),
+                        continuation: retarget(&b.continuation, peer.as_str()),
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Fig 7 (third): the ring of `n` participants.
+pub mod ring {
+    use super::*;
+
+    fn role(i: usize) -> String {
+        format!("p{i}")
+    }
+
+    /// Projected type of participant `i` in an `n`-ring: receive from the
+    /// predecessor, send to the successor (`p0` initiates: send first).
+    pub fn projected(i: usize, n: usize) -> LocalType {
+        let prev = role((i + n - 1) % n);
+        let next = role((i + 1) % n);
+        if i == 0 {
+            LocalType::rec(
+                "x",
+                LocalType::send(
+                    next,
+                    "v",
+                    Sort::Unit,
+                    LocalType::receive(prev, "v", Sort::Unit, LocalType::Var("x".into())),
+                ),
+            )
+        } else {
+            LocalType::rec(
+                "x",
+                LocalType::receive(
+                    prev,
+                    "v",
+                    Sort::Unit,
+                    LocalType::send(next, "v", Sort::Unit, LocalType::Var("x".into())),
+                ),
+            )
+        }
+    }
+
+    /// Optimised participant: sends before receiving (valid AMR since the
+    /// forwarded value does not depend on the received one).
+    pub fn optimised(i: usize, n: usize) -> LocalType {
+        let prev = role((i + n - 1) % n);
+        let next = role((i + 1) % n);
+        LocalType::rec(
+            "x",
+            LocalType::send(
+                next,
+                "v",
+                Sort::Unit,
+                LocalType::receive(prev, "v", Sort::Unit, LocalType::Var("x".into())),
+            ),
+        )
+    }
+
+    /// Rumpsteak verifies each participant **locally**: n independent
+    /// subtype checks (this is the scalability win of Fig 7).
+    pub fn check_rumpsteak(n: usize) -> bool {
+        (0..n).all(|i| {
+            subtyping::is_subtype(
+                &to_fsm(&role(i), &optimised(i, n)),
+                &to_fsm(&role(i), &projected(i, n)),
+                4,
+            )
+        })
+    }
+
+    /// k-MC must analyse the whole optimised system at once.
+    pub fn check_kmc(n: usize) -> bool {
+        let machines = (0..n).map(|i| to_fsm(&role(i), &optimised(i, n))).collect();
+        let system = kmc::System::new(machines).expect("distinct roles");
+        kmc::check(&system, 1).is_ok()
+    }
+}
+
+/// Fig 7 (right): k-buffering — double buffering generalised to `n`
+/// anticipated `ready`s (i.e. `n + 1` buffers).
+pub mod k_buffering {
+    use super::*;
+
+    /// Projected kernel `Mk` (Fig 4a).
+    pub fn projected() -> LocalType {
+        theory::local::parse("rec x . s!ready . s?value . t?ready . t!value . x")
+            .expect("static type")
+    }
+
+    /// Optimised kernel with `n` anticipated readys (Fig 4b is `n = 1`).
+    pub fn optimised(n: usize) -> LocalType {
+        let mut t = projected();
+        for _ in 0..n {
+            t = LocalType::send("s", "ready", Sort::Unit, t);
+        }
+        t
+    }
+
+    /// The source and sink of the double-buffering protocol.
+    pub fn source() -> LocalType {
+        theory::local::parse("rec x . k?ready . k!value . x").expect("static type")
+    }
+
+    /// Sink local type.
+    pub fn sink() -> LocalType {
+        theory::local::parse("rec x . k!ready . k?value . x").expect("static type")
+    }
+
+    /// Rumpsteak check: optimised kernel ≤ projected kernel.
+    pub fn check_rumpsteak(n: usize) -> bool {
+        subtyping::is_subtype(&to_fsm("k", &optimised(n)), &to_fsm("k", &projected()), n + 4)
+    }
+
+    /// k-MC check of the whole optimised system with channel bound n+1.
+    pub fn check_kmc(n: usize) -> bool {
+        let system = kmc::System::new(vec![
+            to_fsm("k", &optimised(n)),
+            to_fsm("s", &source()),
+            to_fsm("t", &sink()),
+        ])
+        .expect("distinct roles");
+        kmc::check(&system, n + 1).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_checks_agree() {
+        for n in [0, 1, 3, 8] {
+            assert!(streaming::check_rumpsteak(n), "rumpsteak n={n}");
+            assert!(streaming::check_soundbinary(n), "soundbinary n={n}");
+            assert!(streaming::check_kmc(n), "kmc n={n}");
+        }
+    }
+
+    #[test]
+    fn nested_choice_checks_agree() {
+        for n in [0, 1, 2] {
+            assert!(nested_choice::check_rumpsteak(n), "rumpsteak n={n}");
+            assert!(nested_choice::check_soundbinary(n), "soundbinary n={n}");
+            assert!(nested_choice::check_kmc(n), "kmc n={n}");
+        }
+    }
+
+    #[test]
+    fn ring_checks_agree() {
+        for n in [2, 3, 6] {
+            assert!(ring::check_rumpsteak(n), "rumpsteak n={n}");
+            assert!(ring::check_kmc(n), "kmc n={n}");
+        }
+    }
+
+    #[test]
+    fn k_buffering_checks_agree() {
+        for n in [0, 1, 2, 5] {
+            assert!(k_buffering::check_rumpsteak(n), "rumpsteak n={n}");
+            assert!(k_buffering::check_kmc(n), "kmc n={n}");
+        }
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        let t = theory::local::parse("rec x . p?a . +{ p!b.x, p!c.end }").unwrap();
+        assert_eq!(dual(&dual(&t)), t);
+    }
+
+    #[test]
+    fn unsafe_ring_variant_rejected_by_both() {
+        // Making p0 receive before sending deadlocks the whole ring.
+        let n = 3;
+        let bad = theory::local::parse("rec x . p2?v . p1!v . x").unwrap();
+        assert!(!subtyping::is_subtype(
+            &to_fsm("p0", &bad),
+            &to_fsm("p0", &ring::projected(0, n)),
+            4,
+        ));
+        let machines = vec![
+            to_fsm("p0", &bad),
+            to_fsm("p1", &ring::projected(1, n)),
+            to_fsm("p2", &ring::projected(2, n)),
+        ];
+        let system = kmc::System::new(machines).unwrap();
+        assert!(kmc::check(&system, 1).is_err());
+    }
+}

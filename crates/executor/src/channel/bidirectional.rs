@@ -1,0 +1,92 @@
+//! Bidirectional role-to-role links.
+//!
+//! A [`Bidirectional`] endpoint owns an outgoing queue towards one fixed
+//! peer and an incoming queue from that peer. Role structs in the session
+//! runtime store one endpoint per peer; creating the full mesh once per
+//! program and reusing it across sessions is the channel-reuse optimisation
+//! described in §2.1 of the paper.
+
+use super::unbounded::{unbounded, Receiver, SendError, Sender};
+
+/// One endpoint of a bidirectional link between two fixed peers.
+pub struct Bidirectional<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+impl<T> Bidirectional<T> {
+    /// Creates both endpoints of a fresh link.
+    pub fn pair() -> (Self, Self) {
+        let (a_to_b_tx, a_to_b_rx) = unbounded();
+        let (b_to_a_tx, b_to_a_rx) = unbounded();
+        (
+            Self {
+                tx: a_to_b_tx,
+                rx: b_to_a_rx,
+            },
+            Self {
+                tx: b_to_a_tx,
+                rx: a_to_b_rx,
+            },
+        )
+    }
+
+    /// Enqueues a message for the peer. Non-blocking.
+    pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
+        self.tx.send(value)
+    }
+
+    /// Awaits the next message from the peer.
+    pub async fn recv(&mut self) -> Option<T> {
+        self.rx.recv().await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.rx.try_recv()
+    }
+
+    /// Poll-based receive for hand-written futures.
+    pub fn poll_recv(
+        &mut self,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Option<T>> {
+        self.rx.poll_recv(cx)
+    }
+
+    /// Number of pending inbound messages.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let (mut a, mut b) = Bidirectional::pair();
+        crate::block_on(async {
+            a.send(1u32).unwrap();
+            assert_eq!(b.recv().await, Some(1));
+            b.send(2).unwrap();
+            assert_eq!(a.recv().await, Some(2));
+        });
+    }
+
+    #[test]
+    fn queues_are_independent_directions() {
+        let (mut a, mut b) = Bidirectional::pair();
+        a.send(10u8).unwrap();
+        a.send(11).unwrap();
+        b.send(20).unwrap();
+        assert_eq!(a.pending(), 1);
+        assert_eq!(b.pending(), 2);
+        crate::block_on(async {
+            assert_eq!(b.recv().await, Some(10));
+            assert_eq!(b.recv().await, Some(11));
+            assert_eq!(a.recv().await, Some(20));
+        });
+    }
+}

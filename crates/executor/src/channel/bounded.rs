@@ -1,0 +1,231 @@
+//! Bounded MPSC channel: sends apply back-pressure once full.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use super::unbounded::SendError;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    rx_waker: Option<Waker>,
+    tx_wakers: VecDeque<Waker>,
+    senders: usize,
+    rx_alive: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+}
+
+/// Creates a channel holding at most `capacity` in-flight messages.
+///
+/// A zero capacity is rounded up to one: a true rendezvous requires the
+/// blocking channels of the `baselines` crate, not an async queue.
+pub fn bounded<T>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            rx_waker: None,
+            tx_wakers: VecDeque::new(),
+            senders: 1,
+            rx_alive: true,
+        }),
+    });
+    (
+        BoundedSender {
+            inner: inner.clone(),
+        },
+        BoundedReceiver { inner },
+    )
+}
+
+/// Producer half of a bounded channel. Cloneable.
+pub struct BoundedSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> BoundedSender<T> {
+    /// Awaits queue space, then enqueues the message.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            sender: self,
+            value: Some(value),
+        }
+    }
+
+    /// Attempts to enqueue without waiting; returns the value on a full or
+    /// closed channel.
+    pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let waker = {
+            let mut state = self.inner.state.lock();
+            if !state.rx_alive || state.queue.len() >= state.capacity {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            state.rx_waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().senders += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut state = self.inner.state.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                state.rx_waker.take()
+            } else {
+                None
+            }
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`BoundedSender::send`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct SendFuture<'a, T> {
+    sender: &'a BoundedSender<T>,
+    value: Option<T>,
+}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety not needed: no structural pinning, all fields Unpin.
+        let this = unsafe { self.get_unchecked_mut() };
+        let value = this.value.take().expect("polled after completion");
+        let rx_waker = {
+            let mut state = this.sender.inner.state.lock();
+            if !state.rx_alive {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if state.queue.len() >= state.capacity {
+                this.value = Some(value);
+                state.tx_wakers.push_back(cx.waker().clone());
+                return Poll::Pending;
+            }
+            state.queue.push_back(value);
+            state.rx_waker.take()
+        };
+        if let Some(waker) = rx_waker {
+            waker.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Consumer half of a bounded channel.
+pub struct BoundedReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Awaits the next message; `None` once all senders are gone.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture { receiver: self }
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        state.rx_alive = false;
+        state.queue.clear();
+        // Wake all blocked senders so they observe the closure.
+        for waker in state.tx_wakers.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`BoundedReceiver::recv`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct RecvFuture<'a, T> {
+    receiver: &'a mut BoundedReceiver<T>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let (result, tx_waker) = {
+            let mut state = this.receiver.inner.state.lock();
+            if let Some(value) = state.queue.pop_front() {
+                (Poll::Ready(Some(value)), state.tx_wakers.pop_front())
+            } else if state.senders == 0 {
+                (Poll::Ready(None), None)
+            } else {
+                state.rx_waker = Some(cx.waker().clone());
+                (Poll::Pending, None)
+            }
+        };
+        if let Some(waker) = tx_waker {
+            waker.wake();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let rt = crate::Runtime::new(2);
+        let (tx, mut rx) = bounded::<u32>(2);
+        let producer = rt.spawn(async move {
+            for i in 0..10 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let consumer = rt.spawn(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        rt.block_on(producer).unwrap();
+        assert_eq!(rt.block_on(consumer).unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_full() {
+        let (tx, _rx) = bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_err());
+    }
+
+    #[test]
+    fn send_fails_on_dropped_receiver() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(crate::block_on(tx.send(1)).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Asynchronous channels used as the session transport.
+//!
+//! Three families, mirroring what Rumpsteak needs from Tokio/futures:
+//!
+//! * [`unbounded`] — multi-producer single-consumer FIFO with non-blocking
+//!   sends. This is the default transport behind session channels: sends
+//!   enqueue into the peer's queue (the "asynchronous queue" of the paper)
+//!   and never block, which is what makes asynchronous message reordering
+//!   profitable.
+//! * [`bounded`] — like `unbounded` but with a capacity; `send` is a future
+//!   that waits for space. Used to model back-pressured links.
+//! * [`oneshot`] — single-value rendezvous used by join handles and
+//!   request/response patterns.
+//!
+//! [`Bidirectional`] bundles a sender and a receiver between two fixed
+//! peers; one call to [`Bidirectional::pair`] yields both endpoints. Role
+//! structs in the session runtime store one `Bidirectional` per peer.
+
+mod bidirectional;
+mod bounded;
+mod oneshot;
+mod unbounded;
+
+pub use bidirectional::Bidirectional;
+pub use bounded::{bounded, BoundedReceiver, BoundedSender};
+pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
+pub use unbounded::{unbounded, Receiver, SendError, Sender};

@@ -1,0 +1,111 @@
+//! Single-value channel.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+struct State<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    tx_alive: bool,
+}
+
+/// Creates a channel carrying exactly one value.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Arc::new(Mutex::new(State {
+        value: None,
+        waker: None,
+        tx_alive: true,
+    }));
+    (
+        OneshotSender {
+            state: state.clone(),
+        },
+        OneshotReceiver { state },
+    )
+}
+
+/// Producer half; consumed by [`OneshotSender::send`].
+pub struct OneshotSender<T> {
+    state: Arc<Mutex<State<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value, waking a waiting receiver.
+    pub fn send(self, value: T) {
+        let waker = {
+            let mut state = self.state.lock();
+            state.value = Some(value);
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut state = self.state.lock();
+            state.tx_alive = false;
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Consumer half; a future resolving to the sent value, or `None` if the
+/// sender was dropped without sending.
+#[must_use = "futures do nothing unless awaited"]
+pub struct OneshotReceiver<T> {
+    state: Arc<Mutex<State<T>>>,
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock();
+        if let Some(value) = state.value.take() {
+            return Poll::Ready(Some(value));
+        }
+        if !state.tx_alive {
+            return Poll::Ready(None);
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_value() {
+        let (tx, rx) = oneshot::<&str>();
+        tx.send("hi");
+        assert_eq!(crate::block_on(rx), Some("hi"));
+    }
+
+    #[test]
+    fn dropped_sender_yields_none() {
+        let (tx, rx) = oneshot::<u8>();
+        drop(tx);
+        assert_eq!(crate::block_on(rx), None);
+    }
+
+    #[test]
+    fn cross_task() {
+        let rt = crate::Runtime::new(2);
+        let (tx, rx) = oneshot::<u64>();
+        rt.spawn(async move { tx.send(123) });
+        assert_eq!(rt.block_on(rx), Some(123));
+    }
+}

@@ -1,0 +1,246 @@
+//! Unbounded MPSC channel with waker-based notification.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+/// Carries the rejected message so the caller can recover it.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    rx_waker: Option<Waker>,
+    senders: usize,
+    rx_alive: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+}
+
+/// Creates an unbounded channel; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            rx_waker: None,
+            senders: 1,
+            rx_alive: true,
+        }),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Producer half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, waking the receiver if it is waiting.
+    ///
+    /// Never blocks; fails only when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let waker = {
+            let mut state = self.inner.state.lock();
+            if !state.rx_alive {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            state.rx_waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        Ok(())
+    }
+
+    /// True if the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.inner.state.lock().rx_alive
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().senders += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut state = self.inner.state.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                state.rx_waker.take()
+            } else {
+                None
+            }
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Consumer half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next message; resolves to `None` once all senders are gone
+    /// and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.inner.state.lock().queue.pop_front()
+    }
+
+    /// Poll-based receive for hand-written futures: returns `Ready(None)`
+    /// once all senders are gone and the queue is drained.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut state = self.inner.state.lock();
+        if let Some(value) = state.queue.pop_front() {
+            return Poll::Ready(Some(value));
+        }
+        if state.senders == 0 {
+            return Poll::Ready(None);
+        }
+        state.rx_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        state.rx_alive = false;
+        state.queue.clear();
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut state = this.receiver.inner.state.lock();
+        if let Some(value) = state.queue.pop_front() {
+            return Poll::Ready(Some(value));
+        }
+        if state.senders == 0 {
+            return Poll::Ready(None);
+        }
+        state.rx_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, mut rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        crate::block_on(async {
+            for i in 0..100 {
+                assert_eq!(rx.recv().await, Some(i));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_drop() {
+        let (tx, mut rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        crate::block_on(async {
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn cross_task_wakeup() {
+        let rt = crate::Runtime::new(2);
+        let (tx, mut rx) = unbounded::<u32>();
+        let consumer = rt.spawn(async move {
+            let mut sum = 0;
+            while let Some(v) = rx.recv().await {
+                sum += v;
+            }
+            sum
+        });
+        let producer = rt.spawn(async move {
+            for i in 1..=10 {
+                tx.send(i).unwrap();
+                crate::yield_now().await;
+            }
+        });
+        rt.block_on(producer).unwrap();
+        assert_eq!(rt.block_on(consumer).unwrap(), 55);
+    }
+}

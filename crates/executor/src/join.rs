@@ -1,0 +1,104 @@
+//! Join handles: awaiting the output of a spawned task.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Error returned when awaiting a task that panicked or was dropped by the
+/// runtime before completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinError;
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task panicked or was cancelled before completion")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct Slot<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    /// True once the producing side is gone (completed or dropped).
+    closed: bool,
+}
+
+/// Producer half: completes the join slot exactly once.
+pub(crate) struct Completer<T> {
+    slot: Arc<Mutex<Slot<T>>>,
+}
+
+impl<T> Completer<T> {
+    pub(crate) fn complete(self, value: T) {
+        let waker = {
+            let mut slot = self.slot.lock();
+            slot.value = Some(value);
+            slot.closed = true;
+            slot.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        // Skip the Drop impl's close-without-value path.
+        std::mem::forget(self);
+    }
+}
+
+impl<T> Drop for Completer<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut slot = self.slot.lock();
+            slot.closed = true;
+            slot.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// An owned permission to await the output of a spawned task.
+///
+/// Unlike Tokio, dropping the handle does **not** cancel the task; it simply
+/// detaches, matching the fire-and-forget style used by the session runtime.
+pub struct JoinHandle<T> {
+    slot: Arc<Mutex<Slot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns true once the task has finished (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.slot.lock().closed
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.slot.lock();
+        if let Some(value) = slot.value.take() {
+            return Poll::Ready(Ok(value));
+        }
+        if slot.closed {
+            return Poll::Ready(Err(JoinError));
+        }
+        slot.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Creates a connected completer/handle pair.
+pub(crate) fn pair<T>() -> (Completer<T>, JoinHandle<T>) {
+    let slot = Arc::new(Mutex::new(Slot {
+        value: None,
+        waker: None,
+        closed: false,
+    }));
+    (Completer { slot: slot.clone() }, JoinHandle { slot })
+}

@@ -1,0 +1,47 @@
+//! A small, self-contained asynchronous runtime.
+//!
+//! This crate is the substrate that stands in for Tokio in the Rumpsteak
+//! reproduction. It provides exactly the features the session-typed runtime
+//! in the paper relies on:
+//!
+//! * lightweight **tasks** multiplexed over a pool of worker threads
+//!   ([`Runtime::spawn`], [`spawn`]),
+//! * a **work-stealing scheduler** (one local deque per worker plus a global
+//!   injector, in the style of Tokio/Rayon),
+//! * waker-based **asynchronous channels** ([`channel`]) used as the session
+//!   transport: unbounded and bounded MPSC queues, oneshot rendezvous and
+//!   bidirectional role-to-role links,
+//! * [`block_on`] to drive a root future from a synchronous context, and
+//!   [`yield_now`] for cooperative rescheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use executor::{Runtime, channel::unbounded};
+//!
+//! let rt = Runtime::new(2);
+//! let (tx, mut rx) = unbounded::<u32>();
+//! let handle = rt.spawn(async move {
+//!     let mut sum = 0;
+//!     while let Some(v) = rx.recv().await {
+//!         sum += v;
+//!     }
+//!     sum
+//! });
+//! for i in 0..10 {
+//!     tx.send(i).unwrap();
+//! }
+//! drop(tx);
+//! assert_eq!(rt.block_on(handle).unwrap(), 45);
+//! ```
+
+pub mod channel;
+mod join;
+mod park;
+mod runtime;
+mod task;
+mod yield_now;
+
+pub use join::{JoinError, JoinHandle};
+pub use runtime::{block_on, spawn, Runtime};
+pub use yield_now::yield_now;

@@ -1,0 +1,283 @@
+//! The multi-threaded, work-stealing runtime.
+//!
+//! Architecture (a deliberately small cousin of Tokio's scheduler):
+//!
+//! * every worker thread owns a `crossbeam_deque::Worker` (local LIFO-ish
+//!   deque),
+//! * a global `Injector` receives tasks spawned from outside the pool and
+//!   overflow wakes,
+//! * idle workers first drain their local deque, then steal a batch from the
+//!   injector, then steal from siblings, and finally park on a condition
+//!   variable.
+//!
+//! Parking uses the standard "check queues under the sleep lock" protocol so
+//! that a push racing with a worker going to sleep can never be lost: the
+//! pusher bumps a generation counter and notifies *while holding the lock*
+//! whenever at least one worker is parked.
+
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle as ThreadHandle;
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::join::{self, JoinHandle};
+use crate::park;
+use crate::task::Task;
+
+/// State shared between all workers and every external handle.
+pub(crate) struct Shared {
+    injector: Injector<Arc<Task>>,
+    stealers: Vec<Stealer<Arc<Task>>>,
+    /// Number of workers currently parked; lets pushers skip the sleep lock
+    /// on the hot path when everyone is busy.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<u64>,
+    sleep_cvar: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Enqueues a task and wakes a parked worker if there is one.
+    pub(crate) fn push(&self, task: Arc<Task>) {
+        self.injector.push(task);
+        self.notify_one();
+    }
+
+    fn notify_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders this notification after any concurrent
+            // queue-emptiness check performed by a worker about to park.
+            let mut generation = self.sleep_lock.lock();
+            *generation = generation.wrapping_add(1);
+            drop(generation);
+            self.sleep_cvar.notify_one();
+        }
+    }
+
+    fn notify_all(&self) {
+        let mut generation = self.sleep_lock.lock();
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.sleep_cvar.notify_all();
+    }
+}
+
+/// A handle to a pool of worker threads executing spawned futures.
+///
+/// Dropping the runtime signals shutdown and joins all workers; tasks that
+/// have not yet completed are dropped with their resources.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<ThreadHandle<()>>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `threads` worker threads (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let deques: Vec<_> = (0..threads).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(0),
+            sleep_cvar: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("executor-worker-{index}"))
+                    .spawn(move || worker_loop(index, deque, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Self { shared, workers }
+    }
+
+    /// Creates a runtime sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// Spawns a future onto the pool, returning a handle to await its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let (result_tx, handle) = join::pair();
+        let task = Task::new(
+            async move {
+                result_tx.complete(future.await);
+            },
+            self.shared.clone(),
+        );
+        self.shared.push(task);
+        handle
+    }
+
+    /// Runs `future` to completion on the calling thread while the pool
+    /// processes any tasks it spawns.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        park::block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Deque<Arc<Task>>, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = find_task(index, &local, &shared) {
+            task.run();
+            continue;
+        }
+
+        // Park: re-check the queues under the sleep lock so a concurrent
+        // push (which bumps the generation under the same lock) is observed.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut generation = shared.sleep_lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        if shared.injector.is_empty() {
+            // A bounded wait keeps the pool resilient to any missed wake-up
+            // without busy-spinning at idle.
+            shared
+                .sleep_cvar
+                .wait_for(&mut generation, Duration::from_millis(20));
+        }
+        drop(generation);
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Work-finding order: local deque, then injector (batch), then siblings.
+fn find_task(index: usize, local: &Deque<Arc<Task>>, shared: &Shared) -> Option<Arc<Task>> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => {}
+        }
+    }
+    for (i, stealer) in shared.stealers.iter().enumerate() {
+        if i == index {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+    }
+    None
+}
+
+/// The process-wide default runtime backing [`spawn`] and [`block_on`].
+fn global() -> &'static Runtime {
+    static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+    GLOBAL.get_or_init(Runtime::with_default_threads)
+}
+
+/// Spawns a future onto the process-wide default runtime.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    global().spawn(future)
+}
+
+/// Runs a future to completion on the current thread, using the
+/// process-wide default runtime for any tasks it spawns.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    global();
+    park::block_on(future)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn spawn_and_join_many() {
+        let rt = Runtime::new(2);
+        let counter = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let counter = counter.clone();
+                rt.spawn(async move {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i * 2
+                })
+            })
+            .collect();
+        let mut total = 0;
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(rt.block_on(handle).unwrap(), (i as u32) * 2);
+            total += 1;
+        }
+        assert_eq!(total, 64);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let rt = Runtime::new(2);
+        let out = rt.block_on(async {
+            let inner = crate::spawn(async { 21u32 });
+            inner.await.unwrap() * 2
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panicking_task_reports_join_error() {
+        let rt = Runtime::new(1);
+        let handle = rt.spawn(async {
+            panic!("boom");
+        });
+        assert!(rt.block_on(handle).is_err());
+    }
+
+    #[test]
+    fn drop_runtime_joins_workers() {
+        let rt = Runtime::new(4);
+        let handle = rt.spawn(async { 1u8 });
+        assert_eq!(rt.block_on(handle).unwrap(), 1);
+        drop(rt);
+    }
+}

@@ -1,0 +1,156 @@
+//! The task abstraction: a future paired with its scheduling state.
+//!
+//! A [`Task`] owns a boxed future and a small atomic state machine that
+//! guarantees each task is scheduled at most once at a time, however many
+//! wakers fire concurrently. The state machine is the classic five-state
+//! design used by production executors:
+//!
+//! ```text
+//!        wake()                 run()                 poll Ready
+//! Idle ----------> Scheduled ----------> Running ----------------> Done
+//!   ^                                    |    ^ wake() while running
+//!   |             poll Pending           v    |
+//!   +------------------------------- Notified (re-queued after poll)
+//! ```
+
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::runtime::Shared;
+
+/// Task is not currently queued or running; a wake will schedule it.
+const IDLE: u8 = 0;
+/// Task sits in a run queue waiting for a worker.
+const SCHEDULED: u8 = 1;
+/// A worker is currently polling the task's future.
+const RUNNING: u8 = 2;
+/// The task was woken while running and must be re-queued after the poll.
+const NOTIFIED: u8 = 3;
+/// The future completed (or panicked); further wakes are no-ops.
+const DONE: u8 = 4;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// A spawned unit of work: a future plus its scheduling state.
+pub(crate) struct Task {
+    state: AtomicU8,
+    /// The future being driven. `None` once complete. The mutex is
+    /// uncontended in practice: the state machine ensures a single poller.
+    future: Mutex<Option<BoxFuture>>,
+    /// Handle back to the runtime used to re-queue on wake.
+    shared: Arc<Shared>,
+}
+
+impl Task {
+    /// Wraps `future` in a new task bound to the runtime `shared`.
+    ///
+    /// The task starts in the [`SCHEDULED`] state: the caller is expected to
+    /// push it onto a run queue immediately.
+    pub(crate) fn new(
+        future: impl Future<Output = ()> + Send + 'static,
+        shared: Arc<Shared>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            state: AtomicU8::new(SCHEDULED),
+            future: Mutex::new(Some(Box::pin(future))),
+            shared,
+        })
+    }
+
+    /// Transitions the task towards being queued, pushing it onto the
+    /// runtime's injector when the transition wins.
+    fn schedule(self: &Arc<Self>) {
+        let mut state = self.state.load(Ordering::Acquire);
+        loop {
+            let next = match state {
+                IDLE => SCHEDULED,
+                RUNNING => NOTIFIED,
+                // Already queued, about to be re-queued, or finished.
+                SCHEDULED | NOTIFIED | DONE => return,
+                _ => unreachable!("invalid task state {state}"),
+            };
+            match self.state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if next == SCHEDULED {
+                        self.shared.push(self.clone());
+                    }
+                    return;
+                }
+                Err(actual) => state = actual,
+            }
+        }
+    }
+
+    /// Polls the future once. Called by a worker that dequeued the task.
+    pub(crate) fn run(self: Arc<Self>) {
+        // SCHEDULED -> RUNNING. The task can only be dequeued once per
+        // schedule, so this cannot race with another `run`.
+        self.state.store(RUNNING, Ordering::Release);
+
+        let waker = Waker::from(self.clone());
+        let mut cx = Context::from_waker(&waker);
+
+        let poll = {
+            let mut slot = self.future.lock();
+            let Some(future) = slot.as_mut() else {
+                // Completed by a previous poll; stale queue entry.
+                self.state.store(DONE, Ordering::Release);
+                return;
+            };
+            // A panicking task must not poison the worker: treat a panic as
+            // completion. The JoinHandle observes it as a dropped result.
+            match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+                Ok(poll) => {
+                    if poll.is_ready() {
+                        *slot = None;
+                    }
+                    poll
+                }
+                Err(_) => {
+                    *slot = None;
+                    Poll::Ready(())
+                }
+            }
+        };
+
+        if poll.is_ready() {
+            self.state.store(DONE, Ordering::Release);
+            return;
+        }
+
+        // RUNNING -> IDLE, unless a wake arrived mid-poll (NOTIFIED), in
+        // which case the task goes straight back onto the queue.
+        match self
+            .state
+            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {}
+            Err(NOTIFIED) => {
+                self.state.store(SCHEDULED, Ordering::Release);
+                self.shared.push(self.clone());
+            }
+            Err(other) => unreachable!("invalid post-poll task state {other}"),
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}

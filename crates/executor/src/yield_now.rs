@@ -1,0 +1,45 @@
+//! Cooperative rescheduling.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Yields execution back to the scheduler once.
+///
+/// The future returns `Pending` on its first poll after waking itself, so
+/// the task is re-queued behind any other runnable tasks. Useful for long
+/// computations that should not starve session peers sharing a worker.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn yield_then_resume() {
+        crate::block_on(async {
+            super::yield_now().await;
+            super::yield_now().await;
+        });
+    }
+}

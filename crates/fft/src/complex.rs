@@ -1,0 +1,118 @@
+//! Minimal complex arithmetic (no external num crate).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Builds a complex number from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Builds `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales both components by a real factor.
+    pub fn scale(self, factor: f64) -> Self {
+        Self {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication() {
+        let i = Complex::new(0.0, 1.0);
+        assert_eq!(i * i, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_unit_circle() {
+        let z = Complex::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-12);
+        assert!((z.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! Sequential fast Fourier transform — the RustFFT stand-in baseline for
+//! the paper's Fig 6 (FFT) benchmark.
+//!
+//! Implements the iterative radix-2 Cooley–Tukey algorithm over
+//! [`Complex`] `f64` values with precomputed twiddle factors and in-place
+//! bit-reversal, plus helpers for the 8-way decomposition used by the
+//! message-passing version in the benchmark crate:
+//!
+//! * [`fft_in_place`] / [`ifft_in_place`] — single transforms,
+//! * [`Planner`] — reusable twiddle tables (the RustFFT usage pattern),
+//! * [`fft_columns_8`] — the paper's workload: an `n × 8` matrix
+//!   transformed row-wise by independent 8-point FFTs,
+//! * [`butterfly_stage`] — one pairwise stage of the decomposed FFT, the
+//!   arithmetic each message-passing process performs between exchanges.
+
+mod complex;
+
+pub use complex::Complex;
+
+/// Precomputed twiddle factors for a fixed power-of-two size.
+///
+/// Reusing a planner across transforms amortises the trigonometry, like
+/// RustFFT's `FftPlanner`.
+pub struct Planner {
+    size: usize,
+    /// Twiddles for each stage, concatenated: stage `s` (half-size `m/2`)
+    /// starts at offset `m/2 - 1` where `m = 2^(s+1)`.
+    twiddles: Vec<Complex>,
+    inverse_twiddles: Vec<Complex>,
+}
+
+impl Planner {
+    /// Builds a planner for transforms of `size` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two(), "FFT size must be a power of two");
+        let mut twiddles = Vec::with_capacity(size.max(1) - 1);
+        let mut inverse_twiddles = Vec::with_capacity(size.max(1) - 1);
+        let mut m = 2;
+        while m <= size {
+            let step = -2.0 * std::f64::consts::PI / m as f64;
+            for k in 0..m / 2 {
+                let angle = step * k as f64;
+                twiddles.push(Complex::from_polar(1.0, angle));
+                inverse_twiddles.push(Complex::from_polar(1.0, -angle));
+            }
+            m *= 2;
+        }
+        Self {
+            size,
+            twiddles,
+            inverse_twiddles,
+        }
+    }
+
+    /// The transform size this planner serves.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward transform, in place.
+    pub fn fft(&self, data: &mut [Complex]) {
+        self.transform(data, false);
+    }
+
+    /// Inverse transform, in place (includes the `1/n` normalisation).
+    pub fn ifft(&self, data: &mut [Complex]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.size as f64;
+        for value in data.iter_mut() {
+            *value = value.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex], inverse: bool) {
+        assert_eq!(data.len(), self.size, "planner size mismatch");
+        bit_reverse_permute(data);
+        let twiddles = if inverse {
+            &self.inverse_twiddles
+        } else {
+            &self.twiddles
+        };
+        let mut m = 2;
+        let mut offset = 0;
+        while m <= self.size {
+            let half = m / 2;
+            let stage = &twiddles[offset..offset + half];
+            for chunk in data.chunks_exact_mut(m) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for k in 0..half {
+                    let t = stage[k] * hi[k];
+                    let u = lo[k];
+                    lo[k] = u + t;
+                    hi[k] = u - t;
+                }
+            }
+            offset += half;
+            m *= 2;
+        }
+    }
+}
+
+/// One-shot forward FFT (builds a throwaway [`Planner`]).
+pub fn fft_in_place(data: &mut [Complex]) {
+    Planner::new(data.len()).fft(data);
+}
+
+/// One-shot inverse FFT.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    Planner::new(data.len()).ifft(data);
+}
+
+/// In-place bit-reversal permutation.
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// The Fig 6 FFT workload: an `n × 8` matrix (8 columns of length `n`),
+/// transformed by `n` independent 8-point FFTs across the columns — the
+/// sequential equivalent of what the eight message-passing processes
+/// compute together.
+///
+/// `columns` must contain exactly 8 equal-length columns; the transform
+/// happens in place.
+pub fn fft_columns_8(columns: &mut [Vec<Complex>]) {
+    assert_eq!(columns.len(), 8, "workload is fixed at 8 columns");
+    let rows = columns[0].len();
+    assert!(
+        columns.iter().all(|c| c.len() == rows),
+        "ragged matrix: all columns must have the same length"
+    );
+    let planner = Planner::new(8);
+    let mut row = [Complex::ZERO; 8];
+    for r in 0..rows {
+        for (c, column) in columns.iter().enumerate() {
+            row[c] = column[r];
+        }
+        planner.fft(&mut row);
+        for (c, column) in columns.iter_mut().enumerate() {
+            column[r] = row[c];
+        }
+    }
+}
+
+/// One butterfly stage of the decomposed 8-point FFT: combines a process's
+/// vector with its partner's, element-wise.
+///
+/// For partner distance `d` at stage `s` (`d = 4, 2, 1` for 8 points), the
+/// lower process of each pair computes `u + w·t` and the upper `u - w·t`,
+/// where `w` is the stage twiddle for the process's position. `is_lower`
+/// selects which half this process holds; `twiddle` is applied to the
+/// partner's (for lower) or own (for upper) contribution exactly as in the
+/// interleaved Cooley–Tukey recursion.
+pub fn butterfly_stage(
+    mine: &mut [Complex],
+    partners: &[Complex],
+    twiddle: Complex,
+    is_lower: bool,
+) {
+    assert_eq!(mine.len(), partners.len());
+    if is_lower {
+        for (m, p) in mine.iter_mut().zip(partners) {
+            *m = *m + twiddle * *p;
+        }
+    } else {
+        for (m, p) in mine.iter_mut().zip(partners) {
+            *m = *p - twiddle * *m;
+        }
+    }
+}
+
+/// Twiddle factor `w` used by process `index` at the stage with partner
+/// distance `distance`, for an 8-point decimation-in-time FFT.
+pub fn stage_twiddle(index: usize, distance: usize, total: usize) -> Complex {
+    // Stage with partner distance d combines blocks of size 2d; the
+    // twiddle exponent is the process's position within the lower half of
+    // its block, scaled by total/(2d).
+    let block = 2 * distance;
+    let position = index % distance;
+    let exponent = position * (total / block);
+    Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * exponent as f64 / total as f64)
+}
+
+/// Naive O(n²) DFT, used as the oracle in tests.
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut sum = Complex::ZERO;
+            for (j, value) in data.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                sum = sum + *value * Complex::from_polar(1.0, angle);
+            }
+            sum
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < 1e-9 && (x.im - y.im).abs() < 1e-9,
+                "{x:?} != {y:?}"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64, (i as f64 * 0.5).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let input = ramp(n);
+            let expected = dft_reference(&input);
+            let mut actual = input.clone();
+            fft_in_place(&mut actual);
+            assert_close(&actual, &expected);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let input = ramp(128);
+        let mut data = input.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        assert_close(&data, &input);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Planner::new(12);
+    }
+
+    #[test]
+    fn planner_reuse_matches_one_shot() {
+        let planner = Planner::new(32);
+        for seed in 0..4 {
+            let input: Vec<Complex> = (0..32)
+                .map(|i| Complex::new((i + seed) as f64, (i * seed) as f64))
+                .collect();
+            let mut a = input.clone();
+            let mut b = input.clone();
+            planner.fft(&mut a);
+            fft_in_place(&mut b);
+            assert_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn columns_workload_matches_rowwise_fft() {
+        let rows = 16;
+        let mut columns: Vec<Vec<Complex>> = (0..8)
+            .map(|c| {
+                (0..rows)
+                    .map(|r| Complex::new((c * rows + r) as f64, (r as f64).cos()))
+                    .collect()
+            })
+            .collect();
+        let reference: Vec<Vec<Complex>> = (0..rows)
+            .map(|r| {
+                let row: Vec<Complex> = (0..8).map(|c| columns[c][r]).collect();
+                dft_reference(&row)
+            })
+            .collect();
+        fft_columns_8(&mut columns);
+        for r in 0..rows {
+            let actual: Vec<Complex> = (0..8).map(|c| columns[c][r]).collect();
+            assert_close(&actual, &reference[r]);
+        }
+    }
+
+    /// The message-passing decomposition: 8 "processes" each hold one
+    /// column (bit-reversed order) and run three butterfly stages.
+    #[test]
+    fn butterfly_decomposition_matches_planner() {
+        let rows = 8;
+        let columns: Vec<Vec<Complex>> = (0..8)
+            .map(|c| {
+                (0..rows)
+                    .map(|r| Complex::new((c + r) as f64, (c as f64) - (r as f64)))
+                    .collect()
+            })
+            .collect();
+
+        // Sequential oracle.
+        let mut expected = columns.clone();
+        fft_columns_8(&mut expected);
+
+        // Parallel-style: processes start with bit-reversed columns.
+        let mut state: Vec<Vec<Complex>> = (0..8)
+            .map(|i| columns[(i as usize).reverse_bits() >> (usize::BITS - 3)].clone())
+            .collect();
+        for distance in [1usize, 2, 4] {
+            let snapshot = state.clone();
+            for (i, mine) in state.iter_mut().enumerate() {
+                let partner = i ^ distance;
+                let is_lower = i & distance == 0;
+                let twiddle = stage_twiddle(i, distance, 8);
+                butterfly_stage(mine, &snapshot[partner], twiddle, is_lower);
+            }
+        }
+        for c in 0..8 {
+            super::tests::assert_close(&state[c], &expected[c]);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! k-multiparty compatibility (k-MC) — the global verification baseline
+//! [Lange & Yoshida, CAV'19] used by Rumpsteak's bottom-up workflow
+//! (paper §2.2) and benchmarked against the subtyping algorithm in Fig 7.
+//!
+//! A *system* is one communicating FSM per participant, exchanging messages
+//! over FIFO channels (one per ordered pair of participants). k-MC explores
+//! every configuration reachable when channels hold at most `k` pending
+//! messages and reports:
+//!
+//! * **deadlocks** — a non-final configuration with no enabled transition,
+//! * **reception errors** — a machine committed to receiving from `p` whose
+//!   incoming channel head from `p` matches none of its expected labels,
+//! * **orphan messages** — all machines terminated but a channel is
+//!   non-empty,
+//! * **k-exhaustivity** — whether some send was ever disabled by a full
+//!   channel (if so, the verdict is only conclusive up to bound `k`).
+//!
+//! Exploration is a breadth-first search over the global configuration
+//! graph, which grows exponentially with the number of participants and
+//! with `k` — exactly the scaling the paper demonstrates in Fig 7.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use theory::fsm::{Direction, Fsm, StateIndex};
+use theory::name::Name;
+
+/// A communicating system: one FSM per participant.
+///
+/// Machine roles must be pairwise distinct, and every action's peer must
+/// name another machine in the system.
+#[derive(Clone, Debug)]
+pub struct System {
+    machines: Vec<Fsm>,
+    roles: Vec<Name>,
+}
+
+/// Errors constructing a [`System`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemError {
+    /// Two machines share a role name.
+    DuplicateRole(Name),
+    /// An action references a participant with no machine.
+    UnknownPeer { role: Name, peer: Name },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::DuplicateRole(role) => write!(f, "duplicate role {role}"),
+            SystemError::UnknownPeer { role, peer } => {
+                write!(f, "machine {role} references unknown peer {peer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl System {
+    /// Builds a system from per-participant machines.
+    pub fn new(machines: Vec<Fsm>) -> Result<Self, SystemError> {
+        let roles: Vec<Name> = machines.iter().map(|m| m.role.clone()).collect();
+        for (index, role) in roles.iter().enumerate() {
+            if roles[..index].contains(role) {
+                return Err(SystemError::DuplicateRole(role.clone()));
+            }
+        }
+        for machine in &machines {
+            for state in machine.states() {
+                for (action, _) in machine.transitions(state) {
+                    if !roles.contains(&action.peer) {
+                        return Err(SystemError::UnknownPeer {
+                            role: machine.role.clone(),
+                            peer: action.peer.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self { machines, roles })
+    }
+
+    /// The machines in the system.
+    pub fn machines(&self) -> &[Fsm] {
+        &self.machines
+    }
+
+    fn role_index(&self, role: &Name) -> usize {
+        self.roles
+            .iter()
+            .position(|r| r == role)
+            .expect("validated at construction")
+    }
+
+    fn channel_index(&self, from: usize, to: usize) -> usize {
+        from * self.machines.len() + to
+    }
+}
+
+/// A global configuration: one state per machine plus all channel contents.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Current state of each machine, indexed like `System::machines`.
+    pub states: Vec<StateIndex>,
+    /// FIFO contents of channel `from → to` at `from * n + to`.
+    pub channels: Vec<Vec<Name>>,
+}
+
+/// A violation of k-multiparty compatibility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// No transition is enabled but the system has not terminated.
+    Deadlock(Config),
+    /// `role` can only receive from `peer`, whose next message `found` is
+    /// not among the expected labels.
+    ReceptionError {
+        /// The offending configuration.
+        config: Config,
+        /// The machine that cannot proceed.
+        role: Name,
+        /// The peer whose message is unexpected.
+        peer: Name,
+        /// The unexpected label at the head of the channel.
+        found: Name,
+    },
+    /// All machines terminated with messages still in flight.
+    OrphanMessages(Config),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Deadlock(_) => f.write_str("deadlock: no machine can make progress"),
+            Violation::ReceptionError {
+                role, peer, found, ..
+            } => write!(
+                f,
+                "reception error: {role} cannot receive {found} from {peer}"
+            ),
+            Violation::OrphanMessages(_) => f.write_str("orphan messages at termination"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Statistics of a successful k-MC run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Number of distinct configurations explored.
+    pub configurations: usize,
+    /// Number of transitions fired during exploration.
+    pub transitions: usize,
+    /// False if some send was disabled by a full channel: the verdict is
+    /// then only conclusive for executions that stay within bound `k`.
+    pub exhaustive: bool,
+}
+
+/// Runs the k-MC check with channel bound `k` (`k ≥ 1`).
+pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
+    let k = k.max(1);
+    let machine_count = system.machines.len();
+    let initial = Config {
+        states: system.machines.iter().map(|m| m.initial()).collect(),
+        channels: vec![Vec::new(); machine_count * machine_count],
+    };
+
+    let mut seen: HashMap<Config, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert(initial.clone(), ());
+    queue.push_back(initial);
+
+    let mut transitions = 0usize;
+    let mut exhaustive = true;
+
+    while let Some(config) = queue.pop_front() {
+        let mut enabled_any = false;
+
+        for (index, machine) in system.machines.iter().enumerate() {
+            let state = config.states[index];
+            for (action, target) in machine.transitions(state) {
+                match action.direction {
+                    Direction::Send => {
+                        let peer = system.role_index(&action.peer);
+                        let channel = system.channel_index(index, peer);
+                        if config.channels[channel].len() >= k {
+                            exhaustive = false;
+                            continue;
+                        }
+                        let mut next = config.clone();
+                        next.states[index] = *target;
+                        next.channels[channel].push(action.label.clone());
+                        enabled_any = true;
+                        transitions += 1;
+                        if !seen.contains_key(&next) {
+                            seen.insert(next.clone(), ());
+                            queue.push_back(next);
+                        }
+                    }
+                    Direction::Receive => {
+                        let peer = system.role_index(&action.peer);
+                        let channel = system.channel_index(peer, index);
+                        if config.channels[channel].first() != Some(&action.label) {
+                            continue;
+                        }
+                        let mut next = config.clone();
+                        next.states[index] = *target;
+                        next.channels[channel].remove(0);
+                        enabled_any = true;
+                        transitions += 1;
+                        if !seen.contains_key(&next) {
+                            seen.insert(next.clone(), ());
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reception errors: a machine committed to receiving whose
+        // matching channel head is unexpected.
+        for (index, machine) in system.machines.iter().enumerate() {
+            let state = config.states[index];
+            let all = machine.transitions(state);
+            let receives: Vec<_> = all
+                .iter()
+                .filter(|(a, _)| a.direction == Direction::Receive)
+                .collect();
+            if receives.is_empty() || receives.len() != all.len() {
+                // Not a receive-committed state (sends can still progress).
+                continue;
+            }
+            for (action, _) in &receives {
+                let peer = system.role_index(&action.peer);
+                let channel = system.channel_index(peer, index);
+                if let Some(found) = config.channels[channel].first().cloned() {
+                    let expected = receives
+                        .iter()
+                        .any(|(a, _)| a.peer == action.peer && a.label == found);
+                    if !expected {
+                        return Err(Violation::ReceptionError {
+                            role: system.roles[index].clone(),
+                            peer: system.roles[peer].clone(),
+                            found,
+                            config,
+                        });
+                    }
+                }
+            }
+        }
+
+        let final_config = config
+            .states
+            .iter()
+            .enumerate()
+            .all(|(index, state)| system.machines[index].is_terminal(*state));
+        let channels_empty = config.channels.iter().all(|c| c.is_empty());
+
+        if final_config && !channels_empty {
+            return Err(Violation::OrphanMessages(config));
+        }
+        if !enabled_any && !final_config {
+            return Err(Violation::Deadlock(config));
+        }
+    }
+
+    Ok(Report {
+        configurations: seen.len(),
+        transitions,
+        exhaustive,
+    })
+}
+
+/// Builds a system from `(role, local type text)` pairs; test/bench helper.
+pub fn system_from_locals(specs: &[(&str, &str)]) -> Result<System, Box<dyn std::error::Error>> {
+    let mut machines = Vec::with_capacity(specs.len());
+    for (role, text) in specs {
+        let local = theory::local::parse(text)?;
+        machines.push(theory::fsm::from_local(&Name::from(*role), &local)?);
+    }
+    Ok(System::new(machines)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_party_ping_pong_is_safe() {
+        let system = system_from_locals(&[
+            ("a", "b!ping.b?pong.end"),
+            ("b", "a?ping.a!pong.end"),
+        ])
+        .unwrap();
+        let report = check(&system, 1).unwrap();
+        assert!(report.exhaustive);
+        assert!(report.configurations >= 4);
+    }
+
+    #[test]
+    fn example2_deadlock_detected() {
+        // Both participants reordered to receive first: classic deadlock
+        // (paper Example 2, unsafe direction).
+        let system = system_from_locals(&[
+            ("p", "q?l2.q!l1.end"),
+            ("q", "p?l1.p!l2.end"),
+        ])
+        .unwrap();
+        assert!(matches!(check(&system, 2), Err(Violation::Deadlock(_))));
+    }
+
+    #[test]
+    fn example2_safe_reorder_passes() {
+        // Only q reordered (send first): safe.
+        let system = system_from_locals(&[
+            ("p", "q!l1.q?l2.end"),
+            ("q", "p!l2.p?l1.end"),
+        ])
+        .unwrap();
+        check(&system, 2).unwrap();
+    }
+
+    #[test]
+    fn reception_error_detected() {
+        let system = system_from_locals(&[
+            ("a", "b!oops.end"),
+            ("b", "a?expected.end"),
+        ])
+        .unwrap();
+        assert!(matches!(
+            check(&system, 1),
+            Err(Violation::ReceptionError { .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_message_detected() {
+        let system = system_from_locals(&[("a", "b!extra.end"), ("b", "end")]).unwrap();
+        assert!(matches!(
+            check(&system, 1),
+            Err(Violation::OrphanMessages(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_protocol_is_safe() {
+        let system = system_from_locals(&[
+            ("s", "rec x . t?ready . +{ t!value.x, t!stop.end }"),
+            ("t", "rec x . s!ready . &{ s?value.x, s?stop.end }"),
+        ])
+        .unwrap();
+        check(&system, 1).unwrap();
+    }
+
+    #[test]
+    fn double_buffering_with_optimised_kernel_is_safe() {
+        let system = system_from_locals(&[
+            ("s", "rec x . k?ready . k!value . x"),
+            (
+                "k",
+                "s!ready . rec x . s!ready . s?value . t?ready . t!value . x",
+            ),
+            ("t", "rec x . k!ready . k?value . x"),
+        ])
+        .unwrap();
+        let report = check(&system, 2).unwrap();
+        assert!(report.configurations > 4);
+    }
+
+    #[test]
+    fn nonexhaustive_flagged_when_buffer_too_small() {
+        // The optimised kernel needs 2 slots towards the source; k = 1
+        // cannot certify it.
+        let system = system_from_locals(&[
+            ("s", "rec x . k?ready . k!value . x"),
+            (
+                "k",
+                "s!ready . rec x . s!ready . s?value . t?ready . t!value . x",
+            ),
+            ("t", "rec x . k!ready . k?value . x"),
+        ])
+        .unwrap();
+        let report = check(&system, 1).unwrap();
+        assert!(!report.exhaustive);
+    }
+
+    #[test]
+    fn ring_of_three_is_safe() {
+        let system = system_from_locals(&[
+            ("a", "rec x . b!v . c?v . x"),
+            ("b", "rec x . a?v . c!v . x"),
+            ("c", "rec x . b?v . a!v . x"),
+        ])
+        .unwrap();
+        check(&system, 1).unwrap();
+    }
+
+    #[test]
+    fn duplicate_roles_rejected() {
+        let result = system_from_locals(&[("a", "b!x.end"), ("a", "b?x.end")]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let result = system_from_locals(&[("a", "z!x.end")]);
+        assert!(result.is_err());
+    }
+}

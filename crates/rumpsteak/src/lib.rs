@@ -1,0 +1,120 @@
+//! Rumpsteak — deadlock-free asynchronous message passing with multiparty
+//! session types (the paper's §2 runtime API).
+//!
+//! The crate provides:
+//!
+//! * [`role`] — the [`Role`]/[`Route`]/[`Message`] traits and the channel
+//!   [`Mesh`](role::Mesh) used to wire roles together,
+//! * [`session`] — the generic typestate primitives [`Send`], [`Receive`],
+//!   [`Select`], [`Branch`] and [`End`], plus [`try_session`] which
+//!   enforces linear channel usage through Rust's affine types,
+//! * [`serialize`] — the bottom-up workflow (§2.2): turning a session type
+//!   *as a Rust type* back into a [`theory::Fsm`] for k-MC or subtyping
+//!   verification,
+//! * declarative macros ([`roles!`], [`messages!`], [`session!`],
+//!   [`choice!`]) replacing the proc-macro derives of the original.
+//!
+//! # The double-buffering kernel, one iteration (paper Listings 2 & 3)
+//!
+//! ```
+//! use rumpsteak::{roles, messages, session, try_session, Send, Receive, End, Result};
+//!
+//! pub struct Ready;
+//! pub struct Value(pub i32);
+//!
+//! messages! {
+//!     enum Label { Ready(Ready), Value(Value) }
+//! }
+//!
+//! roles! {
+//!     message Label;
+//!     K { s: S, t: T },
+//!     S { k: K },
+//!     T { k: K },
+//! }
+//!
+//! session! {
+//!     type Source<'q> = Receive<'q, S, K, Ready, Send<'q, S, K, Value, End<'q, S>>>;
+//!     type Kernel<'q> = Send<'q, K, S, Ready,
+//!         Receive<'q, K, S, Value, Receive<'q, K, T, Ready,
+//!         Send<'q, K, T, Value, End<'q, K>>>>>;
+//!     type Sink<'q> = Send<'q, T, K, Ready, Receive<'q, T, K, Value, End<'q, T>>>;
+//! }
+//!
+//! async fn kernel(role: &mut K) -> Result<i32> {
+//!     try_session(role, |s: Kernel<'_>| async {
+//!         let s = s.send(Ready).await?;
+//!         let (Value(v), s) = s.receive().await?;
+//!         let (Ready, s) = s.receive().await?;
+//!         let end = s.send(Value(v)).await?;
+//!         Ok((v, end))
+//!     })
+//!     .await
+//! }
+//!
+//! async fn source(role: &mut S) -> Result<()> {
+//!     try_session(role, |s: Source<'_>| async {
+//!         let (Ready, s) = s.receive().await?;
+//!         let end = s.send(Value(42)).await?;
+//!         Ok(((), end))
+//!     })
+//!     .await
+//! }
+//!
+//! async fn sink(role: &mut T) -> Result<i32> {
+//!     try_session(role, |s: Sink<'_>| async {
+//!         let s = s.send(Ready).await?;
+//!         let (Value(v), end) = s.receive().await?;
+//!         Ok((v, end))
+//!     })
+//!     .await
+//! }
+//!
+//! let (mut k, mut s, mut t) = connect();
+//! let rt = executor::Runtime::new(2);
+//! let k = rt.spawn(async move { kernel(&mut k).await });
+//! let s = rt.spawn(async move { source(&mut s).await });
+//! let t = rt.spawn(async move { sink(&mut t).await });
+//! assert_eq!(rt.block_on(k).unwrap().unwrap(), 42);
+//! rt.block_on(s).unwrap().unwrap();
+//! assert_eq!(rt.block_on(t).unwrap().unwrap(), 42);
+//! ```
+
+pub mod role;
+pub mod serialize;
+pub mod session;
+
+use std::fmt;
+
+pub use role::{Message, Role, Route};
+pub use serialize::{serialize, ChoicesFsm, SessionFsm};
+pub use session::{
+    try_session, Branch, Choice, Choices, End, FromState, IntoSession, Receive, Select, Send,
+    State,
+};
+
+/// Errors surfaced by session operations at runtime.
+///
+/// With a verified protocol these indicate an environment failure (a peer
+/// task died), never a protocol violation — those are compile errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The peer's channel endpoint was dropped.
+    ChannelClosed,
+    /// A message arrived that does not match the session type's label.
+    UnexpectedMessage,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ChannelClosed => f.write_str("session channel closed by peer"),
+            Error::UnexpectedMessage => f.write_str("received a message outside the protocol"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for session operations.
+pub type Result<T, E = Error> = std::result::Result<T, E>;

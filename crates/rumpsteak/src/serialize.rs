@@ -1,0 +1,174 @@
+//! The bottom-up workflow (paper §2.2): serialising a session type — as a
+//! Rust type — into an FSM.
+//!
+//! `serialize::<S>()` walks the type structure of `S` at compile-time
+//! monomorphisation (no value of `S` is ever constructed) and emits the
+//! corresponding [`Fsm`]. The result can be fed to the `kmc` crate to
+//! verify a whole system, or to the `subtyping` crate against a projected
+//! FSM (the hybrid workflow, §2.3).
+//!
+//! Recursion points (the `struct`s of [`session!`](crate::session)) carry
+//! a unique `KEY`; the visited map ties back-edges to their states, just
+//! like `μt`-binders in local types.
+
+use std::collections::HashMap;
+
+use theory::fsm::{Action, Direction, Fsm, FsmBuilder, FsmError, StateIndex};
+use theory::Name;
+
+use crate::role::{Label, Role};
+use crate::session::{Branch, End, FromState, Receive, Select, Send};
+
+/// Type-level description of a session type's FSM structure.
+///
+/// Implemented for all primitives; [`session!`](crate::session) generates
+/// impls for recursion points and [`choice!`](crate::choice) the
+/// [`ChoicesFsm`] companions.
+pub trait SessionFsm {
+    /// Unique key for recursion points; `None` for structural types.
+    const KEY: Option<&'static str> = None;
+
+    /// Ensures a state for this type exists and returns its index.
+    fn append(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+    ) -> StateIndex {
+        if let Some(key) = Self::KEY {
+            if let Some(&state) = visited.get(key) {
+                return state;
+            }
+        }
+        let state = builder.add_state();
+        if let Some(key) = Self::KEY {
+            visited.insert(key, state);
+        }
+        Self::fill(builder, visited, state);
+        state
+    }
+
+    /// Adds this type's outgoing transitions to `state`.
+    fn fill(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        state: StateIndex,
+    );
+}
+
+/// Companion of [`SessionFsm`] for choice enums: appends one transition
+/// per variant.
+pub trait ChoicesFsm {
+    /// Adds each variant's transition from `from` in `direction`.
+    fn append_choices(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        from: StateIndex,
+        direction: Direction,
+        peer: &'static str,
+    );
+}
+
+impl<Q> SessionFsm for End<'_, Q> {
+    fn fill(
+        _builder: &mut FsmBuilder,
+        _visited: &mut HashMap<&'static str, StateIndex>,
+        _state: StateIndex,
+    ) {
+        // Terminal: no transitions.
+    }
+}
+
+impl<Q, R, L, S> SessionFsm for Send<'_, Q, R, L, S>
+where
+    R: Role,
+    L: Label,
+    S: SessionFsm,
+{
+    fn fill(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        state: StateIndex,
+    ) {
+        let target = S::append(builder, visited);
+        builder.add_transition(
+            state,
+            Action {
+                direction: Direction::Send,
+                peer: Name::new(R::name()),
+                label: Name::new(L::label_name()),
+                sort: L::sort(),
+            },
+            target,
+        );
+    }
+}
+
+impl<Q, R, L, S> SessionFsm for Receive<'_, Q, R, L, S>
+where
+    R: Role,
+    L: Label,
+    S: SessionFsm,
+{
+    fn fill(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        state: StateIndex,
+    ) {
+        let target = S::append(builder, visited);
+        builder.add_transition(
+            state,
+            Action {
+                direction: Direction::Receive,
+                peer: Name::new(R::name()),
+                label: Name::new(L::label_name()),
+                sort: L::sort(),
+            },
+            target,
+        );
+    }
+}
+
+impl<Q, R, C> SessionFsm for Select<'_, Q, R, C>
+where
+    R: Role,
+    for<'q> C: ChoicesFsm,
+{
+    fn fill(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        state: StateIndex,
+    ) {
+        C::append_choices(builder, visited, state, Direction::Send, R::name());
+    }
+}
+
+impl<Q, R, C> SessionFsm for Branch<'_, Q, R, C>
+where
+    R: Role,
+    C: ChoicesFsm,
+{
+    fn fill(
+        builder: &mut FsmBuilder,
+        visited: &mut HashMap<&'static str, StateIndex>,
+        state: StateIndex,
+    ) {
+        C::append_choices(builder, visited, state, Direction::Receive, R::name());
+    }
+}
+
+/// Serialises session type `S` into the FSM of its role.
+///
+/// Use the `'static` instantiation of the session type:
+///
+/// ```ignore
+/// let fsm = serialize::<Kernel<'static>>()?;
+/// ```
+pub fn serialize<'q, S>() -> Result<Fsm, FsmError>
+where
+    S: SessionFsm + FromState<'q>,
+    S::Role: Role,
+{
+    let mut builder = FsmBuilder::new(<S::Role as Role>::name());
+    let mut visited = HashMap::new();
+    let initial = S::append(&mut builder, &mut visited);
+    builder.build(initial)
+}

@@ -1,0 +1,76 @@
+//! Command-line interface to the SoundBinary subtyping baseline.
+//!
+//! ```text
+//! soundbinary <subtype> <supertype> [--max-depth N] [--max-steps N]
+//! ```
+//!
+//! Arguments are local-type expressions or `@path` file references; the
+//! types must be binary (one peer). Exits 0 when subtyping holds.
+
+use std::process::ExitCode;
+
+fn read_type(arg: &str) -> Result<theory::LocalType, String> {
+    let text = if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        arg.to_owned()
+    };
+    theory::local::parse(text.trim()).map_err(|e| format!("parse error: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut limits = soundbinary::Limits::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-depth" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => limits.max_context_depth = value,
+                None => {
+                    eprintln!("--max-depth requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-steps" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => limits.max_steps = value,
+                None => {
+                    eprintln!("--max-steps requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: soundbinary <subtype> <supertype> [--max-depth N] [--max-steps N]");
+                return ExitCode::SUCCESS;
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [sub, sup] = positional.as_slice() else {
+        eprintln!("usage: soundbinary <subtype> <supertype> [--max-depth N] [--max-steps N]");
+        return ExitCode::from(2);
+    };
+
+    let (sub, sup) = match (read_type(sub), read_type(sup)) {
+        (Ok(sub), Ok(sup)) => (sub, sup),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match soundbinary::is_subtype(&sub, &sup, limits) {
+        Ok(true) => {
+            println!("subtype holds");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("subtype NOT shown");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

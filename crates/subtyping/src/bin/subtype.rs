@@ -1,0 +1,71 @@
+//! Command-line interface to the asynchronous subtyping algorithm,
+//! mirroring the binary the paper benchmarks with Hyperfine (§4.2).
+//!
+//! ```text
+//! subtype <subtype> <supertype> [--bound N]
+//! ```
+//!
+//! Each argument is either a local-type expression (e.g.
+//! `"rec x . s!ready . s?value . x"`) or `@path` to read one from a file.
+//! Exits 0 when the subtyping holds, 1 when it cannot be shown.
+
+use std::process::ExitCode;
+
+fn read_type(arg: &str) -> Result<theory::LocalType, String> {
+    let text = if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        arg.to_owned()
+    };
+    theory::local::parse(text.trim()).map_err(|e| format!("parse error: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut bound = 16usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--bound" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => bound = value,
+                None => {
+                    eprintln!("--bound requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: subtype <subtype> <supertype> [--bound N]");
+                return ExitCode::SUCCESS;
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [sub, sup] = positional.as_slice() else {
+        eprintln!("usage: subtype <subtype> <supertype> [--bound N]");
+        return ExitCode::from(2);
+    };
+
+    let (sub, sup) = match (read_type(sub), read_type(sup)) {
+        (Ok(sub), Ok(sup)) => (sub, sup),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match subtyping::is_subtype_local(&sub, &sup, bound) {
+        Ok(true) => {
+            println!("subtype holds (bound {bound})");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("subtype NOT shown (bound {bound})");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

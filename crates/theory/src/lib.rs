@@ -1,0 +1,55 @@
+//! Multiparty session type theory: the νScr/Scribble substrate.
+//!
+//! This crate implements the "paper" side of Rumpsteak's top-down workflow
+//! (Fig 1a of the paper):
+//!
+//! * [`global`] — global session types `G` (Definition 1),
+//! * [`local`] — local session types `T` with internal/external choice,
+//! * [`scribble`] — a parser for the Scribble subset used by the paper
+//!   (`global protocol`, `rec`/`continue`, `choice at`),
+//! * [`projection`] — projection of a global type onto each participant,
+//!   with full merging of external choices,
+//! * [`fsm`] — communicating finite state machines and conversions
+//!   local type ⇄ FSM (the representation the subtyping algorithm and the
+//!   k-MC checker operate on),
+//! * [`dot`] — Graphviz output for debugging protocols.
+//!
+//! # Example: the streaming protocol of §2
+//!
+//! ```
+//! use theory::scribble;
+//! use theory::projection::project;
+//!
+//! let source = r#"
+//!     global protocol Streaming(role s, role t) {
+//!         rec loop {
+//!             ready() from t to s;
+//!             choice at s {
+//!                 value() from s to t;
+//!                 continue loop;
+//!             } or {
+//!                 stop() from s to t;
+//!             }
+//!         }
+//!     }
+//! "#;
+//! let protocol = scribble::parse(source).unwrap();
+//! let local_s = project(&protocol.body, &"s".into()).unwrap();
+//! let fsm = theory::fsm::from_local(&"s".into(), &local_s).unwrap();
+//! assert_eq!(fsm.len(), 3); // loop head, choice state, end
+//! ```
+
+pub mod dot;
+pub mod fsm;
+pub mod global;
+pub mod local;
+pub mod name;
+pub mod projection;
+pub mod scribble;
+pub mod sort;
+
+pub use fsm::{Action, Direction, Fsm, StateIndex};
+pub use global::GlobalType;
+pub use local::LocalType;
+pub use name::Name;
+pub use sort::Sort;

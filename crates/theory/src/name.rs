@@ -1,0 +1,79 @@
+//! Cheaply clonable interned-style names for roles, labels and variables.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, reference-counted identifier.
+///
+/// Used for participant names (`s`, `k`, `t`), message labels (`ready`,
+/// `value`) and recursion variables. Equality and hashing are by string
+/// value; cloning is an `Arc` bump.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from any string-like value.
+    pub fn new(value: impl AsRef<str>) -> Self {
+        Self(Arc::from(value.as_ref()))
+    }
+
+    /// View as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", &*self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(value: &str) -> Self {
+        Self::new(value)
+    }
+}
+
+impl From<String> for Name {
+    fn from(value: String) -> Self {
+        Self::new(value)
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_by_value() {
+        assert_eq!(Name::from("s"), Name::new(String::from("s")));
+        assert_ne!(Name::from("s"), Name::from("t"));
+    }
+
+    #[test]
+    fn usable_as_map_key_by_str() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(Name::from("k"), 1);
+        assert_eq!(map.get("k"), Some(&1));
+    }
+}

