@@ -157,10 +157,7 @@ mod tests {
         // values over per-step oneshot sessions.
         type Step = RecvOnce<u32, EndOnce>;
 
-        fn produce(
-            n: u32,
-            total: u32,
-        ) -> Pin<Box<dyn Future<Output = u32> + Send>> {
+        fn produce(n: u32, total: u32) -> Pin<Box<dyn Future<Output = u32> + Send>> {
             Box::pin(async move {
                 if n == 0 {
                     return total;

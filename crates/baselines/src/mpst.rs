@@ -56,10 +56,12 @@ impl<M> SyncLink<M> {
 /// `mesh::<M, 3>()` returns, for each role `i`, a vector of links indexed
 /// by peer (entry `i` itself is absent; peers keep their index order with
 /// the self-slot skipped).
+// Symmetric double-indexing (`[from][to]` and `[to][from]`) has no
+// iterator equivalent without split_at_mut gymnastics.
+#[allow(clippy::needless_range_loop)]
 pub fn mesh<M, const N: usize>() -> Vec<Vec<SyncLink<M>>> {
-    let mut per_role: Vec<Vec<Option<SyncLink<M>>>> = (0..N)
-        .map(|_| (0..N).map(|_| None).collect())
-        .collect();
+    let mut per_role: Vec<Vec<Option<SyncLink<M>>>> =
+        (0..N).map(|_| (0..N).map(|_| None).collect()).collect();
     for from in 0..N {
         for to in (from + 1)..N {
             let (a, b) = SyncLink::pair();

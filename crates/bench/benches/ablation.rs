@@ -28,7 +28,10 @@ fn rejecting_pair(n: usize) -> (theory::Fsm, theory::Fsm) {
     optimised.push_str("rec x . s!ready . s?value . t?ready . t!value . x");
     // Swapped: the *projection* is checked against the optimisation, a
     // genuinely false subtyping.
-    (fsm("rec x . s!ready . s?value . t?ready . t!value . x"), fsm(&optimised))
+    (
+        fsm("rec x . s!ready . s?value . t?ready . t!value . x"),
+        fsm(&optimised),
+    )
 }
 
 fn bench(c: &mut Criterion) {

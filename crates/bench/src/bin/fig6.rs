@@ -56,21 +56,36 @@ fn table_streaming(rt: &executor::Runtime) {
         let items = n as usize;
         row(&[
             n.to_string(),
-            format!("{:.6}", bench_throughput(items, || {
-                streaming::run_sesh(n);
-            })),
-            format!("{:.6}", bench_throughput(items, || {
-                streaming::run_multicrusty(n);
-            })),
-            format!("{:.6}", bench_throughput(items, || {
-                streaming::run_ferrite(rt, n);
-            })),
-            format!("{:.6}", bench_throughput(items, || {
-                streaming::run_rumpsteak(rt, n, false);
-            })),
-            format!("{:.6}", bench_throughput(items, || {
-                streaming::run_rumpsteak(rt, n, true);
-            })),
+            format!(
+                "{:.6}",
+                bench_throughput(items, || {
+                    streaming::run_sesh(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(items, || {
+                    streaming::run_multicrusty(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(items, || {
+                    streaming::run_ferrite(rt, n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(items, || {
+                    streaming::run_rumpsteak(rt, n, false);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(items, || {
+                    streaming::run_rumpsteak(rt, n, true);
+                })
+            ),
         ]);
     }
     println!();
@@ -89,21 +104,36 @@ fn table_double_buffering(rt: &executor::Runtime) {
     for n in [5000usize, 10000, 15000, 20000, 25000] {
         row(&[
             n.to_string(),
-            format!("{:.6}", bench_throughput(n, || {
-                double_buffering::run_sesh(n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                double_buffering::run_multicrusty(n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                double_buffering::run_ferrite(rt, n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                double_buffering::run_rumpsteak(rt, n, false);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                double_buffering::run_rumpsteak(rt, n, true);
-            })),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    double_buffering::run_sesh(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    double_buffering::run_multicrusty(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    double_buffering::run_ferrite(rt, n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    double_buffering::run_rumpsteak(rt, n, false);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    double_buffering::run_rumpsteak(rt, n, true);
+                })
+            ),
         ]);
     }
     println!();
@@ -122,21 +152,36 @@ fn table_fft(rt: &executor::Runtime) {
     for n in [1000usize, 2000, 3000, 4000, 5000] {
         row(&[
             n.to_string(),
-            format!("{:.6}", bench_throughput(n, || {
-                fft8::run_sesh(n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                fft8::run_multicrusty(n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                fft8::run_ferrite(rt, n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                fft8::run_sequential(n);
-            })),
-            format!("{:.6}", bench_throughput(n, || {
-                fft8::run_rumpsteak(rt, n);
-            })),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    fft8::run_sesh(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    fft8::run_multicrusty(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    fft8::run_ferrite(rt, n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    fft8::run_sequential(n);
+                })
+            ),
+            format!(
+                "{:.6}",
+                bench_throughput(n, || {
+                    fft8::run_rumpsteak(rt, n);
+                })
+            ),
         ]);
     }
     println!();

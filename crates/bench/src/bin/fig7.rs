@@ -78,7 +78,12 @@ fn table_streaming() {
             None
         };
         let rumpsteak = Some(time_check(|| streaming::check_rumpsteak(n)));
-        println!("{n}\t{}\t{}\t{}", fmt(soundbinary), fmt(kmc), fmt(rumpsteak));
+        println!(
+            "{n}\t{}\t{}\t{}",
+            fmt(soundbinary),
+            fmt(kmc),
+            fmt(rumpsteak)
+        );
     }
     println!();
 }
@@ -90,7 +95,12 @@ fn table_nested_choice() {
         let soundbinary = Some(time_check(|| nested_choice::check_soundbinary(n)));
         let kmc = (n <= 4).then(|| time_check(|| nested_choice::check_kmc(n)));
         let rumpsteak = Some(time_check(|| nested_choice::check_rumpsteak(n)));
-        println!("{n}\t{}\t{}\t{}", fmt(soundbinary), fmt(kmc), fmt(rumpsteak));
+        println!(
+            "{n}\t{}\t{}\t{}",
+            fmt(soundbinary),
+            fmt(kmc),
+            fmt(rumpsteak)
+        );
     }
     println!();
 }

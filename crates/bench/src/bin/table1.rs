@@ -14,8 +14,18 @@ fn main() {
     println!("# Table 1 — expressiveness matrix");
     println!(
         "{:<28} {:>2} {:>2}{:>2}{:>3}{:>4}  {:<9} {:<9} {:<11} {:<9} {:<9} {:<11}",
-        "Protocol", "n", "C", "R", "IR", "AMR", "Sesh", "Ferrite", "MultiCrusty", "Rumpsteak",
-        "k-MC", "SoundBinary"
+        "Protocol",
+        "n",
+        "C",
+        "R",
+        "IR",
+        "AMR",
+        "Sesh",
+        "Ferrite",
+        "MultiCrusty",
+        "Rumpsteak",
+        "k-MC",
+        "SoundBinary"
     );
     for row in rows() {
         let flag = |b: bool| if b { "x" } else { " " };

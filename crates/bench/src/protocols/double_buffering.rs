@@ -139,8 +139,10 @@ pub fn run_rumpsteak(rt: &executor::Runtime, size: usize, optimised: bool) -> u6
 // multiparty guarantee, as in the paper's Table 1).
 // ---------------------------------------------------------------------
 
-type KernelToSource = sesh::Send<(), sesh::Recv<Buffer, sesh::Send<(), sesh::Recv<Buffer, sesh::End>>>>;
-type KernelToSink = sesh::Recv<(), sesh::Send<Buffer, sesh::Recv<(), sesh::Send<Buffer, sesh::End>>>>;
+type KernelToSource =
+    sesh::Send<(), sesh::Recv<Buffer, sesh::Send<(), sesh::Recv<Buffer, sesh::End>>>>;
+type KernelToSink =
+    sesh::Recv<(), sesh::Send<Buffer, sesh::Recv<(), sesh::Send<Buffer, sesh::End>>>>;
 
 /// Runs two iterations with Sesh-style binary sessions.
 pub fn run_sesh(size: usize) -> u64 {
@@ -276,8 +278,7 @@ pub fn run_ferrite(rt: &executor::Runtime, size: usize) -> u64 {
 
     rt.block_on(kernel_task).unwrap();
     rt.block_on(source_task).unwrap();
-    let result = rt.block_on(sink_task).unwrap();
-    result
+    rt.block_on(sink_task).unwrap()
 }
 
 #[cfg(test)]

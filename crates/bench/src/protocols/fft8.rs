@@ -281,10 +281,7 @@ pub fn run_ferrite(rt: &executor::Runtime, rows: usize) -> Vec<Vec<Complex>> {
             })
         })
         .collect();
-    tasks
-        .into_iter()
-        .map(|t| rt.block_on(t).unwrap())
-        .collect()
+    tasks.into_iter().map(|t| rt.block_on(t).unwrap()).collect()
 }
 
 #[cfg(test)]

@@ -10,8 +10,7 @@
 //! safe by the subtyping algorithm; see `verification::streaming`).
 
 use rumpsteak::{
-    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
-    Send,
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select, Send,
 };
 
 use baselines::ferrite::{AsyncSession, EndOnce, RecvOnce, SendOnce};
@@ -113,7 +112,10 @@ choice! {
 /// AMR-optimised source: streams [`UNROLL`] values before the first
 /// `ready` is consumed (requires `count >= UNROLL`).
 async fn source_optimised(role: &mut S, count: u32) -> rumpsteak::Result<()> {
-    assert!(count >= UNROLL, "optimised source pre-sends {UNROLL} values");
+    assert!(
+        count >= UNROLL,
+        "optimised source pre-sends {UNROLL} values"
+    );
     try_session(role, |s: OptSource<'_>| async move {
         let s = s.send(Value(0)).await?;
         let s = s.send(Value(1)).await?;

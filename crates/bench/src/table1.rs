@@ -58,22 +58,87 @@ pub fn rows() -> Vec<Row> {
         support,
     };
     vec![
-        row("Two Adder", 2, [true, true, false, false], [Y, Y, Y, Y, Y, Y]),
-        row("Three Adder", 3, [false, false, false, false], [E, E, Y, Y, Y, N]),
-        row("Streaming", 2, [true, true, false, false], [Y, Y, Y, Y, Y, Y]),
-        row("Optimised Streaming", 2, [true, true, false, true], [E, E, E, Y, Y, Y]),
+        row(
+            "Two Adder",
+            2,
+            [true, true, false, false],
+            [Y, Y, Y, Y, Y, Y],
+        ),
+        row(
+            "Three Adder",
+            3,
+            [false, false, false, false],
+            [E, E, Y, Y, Y, N],
+        ),
+        row(
+            "Streaming",
+            2,
+            [true, true, false, false],
+            [Y, Y, Y, Y, Y, Y],
+        ),
+        row(
+            "Optimised Streaming",
+            2,
+            [true, true, false, true],
+            [E, E, E, Y, Y, Y],
+        ),
         row("Ring", 3, [false, true, true, false], [E, E, Y, Y, Y, N]),
-        row("Optimised Ring", 3, [false, true, true, true], [E, E, E, Y, Y, N]),
-        row("Ring With Choice", 3, [true, true, true, false], [E, E, Y, Y, Y, N]),
-        row("Optimised Ring With Choice", 3, [true, true, true, true], [E, E, E, Y, Y, N]),
-        row("Double Buffering", 3, [false, true, true, false], [E, E, Y, Y, Y, N]),
-        row("Optimised Double Buffering", 3, [false, true, true, true], [E, E, E, Y, Y, N]),
-        row("Alternating Bit", 2, [true, true, true, true], [E, E, E, Y, Y, Y]),
+        row(
+            "Optimised Ring",
+            3,
+            [false, true, true, true],
+            [E, E, E, Y, Y, N],
+        ),
+        row(
+            "Ring With Choice",
+            3,
+            [true, true, true, false],
+            [E, E, Y, Y, Y, N],
+        ),
+        row(
+            "Optimised Ring With Choice",
+            3,
+            [true, true, true, true],
+            [E, E, E, Y, Y, N],
+        ),
+        row(
+            "Double Buffering",
+            3,
+            [false, true, true, false],
+            [E, E, Y, Y, Y, N],
+        ),
+        row(
+            "Optimised Double Buffering",
+            3,
+            [false, true, true, true],
+            [E, E, E, Y, Y, N],
+        ),
+        row(
+            "Alternating Bit",
+            2,
+            [true, true, true, true],
+            [E, E, E, Y, Y, Y],
+        ),
         row("Elevator", 3, [true, true, true, true], [E, E, E, Y, Y, N]),
         row("FFT", 8, [false, false, false, false], [E, E, Y, Y, Y, N]),
-        row("Optimised FFT", 8, [false, false, false, true], [E, E, E, Y, Y, N]),
-        row("Authentication", 3, [true, false, false, false], [E, E, Y, Y, Y, N]),
-        row("Client-Server Log", 3, [true, true, true, false], [E, E, Y, Y, Y, N]),
+        row(
+            "Optimised FFT",
+            8,
+            [false, false, false, true],
+            [E, E, E, Y, Y, N],
+        ),
+        row(
+            "Authentication",
+            3,
+            [true, false, false, false],
+            [E, E, Y, Y, Y, N],
+        ),
+        row(
+            "Client-Server Log",
+            3,
+            [true, true, true, false],
+            [E, E, Y, Y, Y, N],
+        ),
         row("Hospital", 2, [true, true, true, true], [E, E, E, N, N, Y]),
     ]
 }
@@ -96,7 +161,11 @@ fn parse(t: &str) -> LocalType {
 }
 
 fn subtype(role: &str, sub: &str, sup: &str, bound: usize) -> bool {
-    subtyping::is_subtype(&to_fsm(role, &parse(sub)), &to_fsm(role, &parse(sup)), bound)
+    subtyping::is_subtype(
+        &to_fsm(role, &parse(sub)),
+        &to_fsm(role, &parse(sup)),
+        bound,
+    )
 }
 
 fn kmc_ok(specs: &[(&str, &str)], k: usize) -> bool {
@@ -189,7 +258,11 @@ pub fn dynamic_checks() -> Vec<CheckOutcome> {
         name: "Ring",
         rumpsteak: Some((0..3).all(|i| {
             let t = crate::verification::ring::projected(i, 3);
-            subtyping::is_subtype(&to_fsm(&format!("p{i}"), &t), &to_fsm(&format!("p{i}"), &t), 4)
+            subtyping::is_subtype(
+                &to_fsm(&format!("p{i}"), &t),
+                &to_fsm(&format!("p{i}"), &t),
+                4,
+            )
         })),
         kmc: Some(kmc_ok(
             &[
@@ -248,8 +321,7 @@ pub fn dynamic_checks() -> Vec<CheckOutcome> {
     });
 
     // Alternating bit protocol (Appendix B.4).
-    let abp_projected =
-        "rec t . s?d0 . +{ s!a0 . rec u . s?d1 . +{ s!a0.u, s!a1.t }, s!a1.t }";
+    let abp_projected = "rec t . s?d0 . +{ s!a0 . rec u . s?d1 . +{ s!a0.u, s!a1.t }, s!a1.t }";
     let abp_spec = "rec t . &{ s?d0.s!a0.t, s?d1.s!a1.t }";
     out.push(CheckOutcome {
         name: "Alternating Bit",
@@ -273,7 +345,12 @@ pub fn dynamic_checks() -> Vec<CheckOutcome> {
         "rec x . u?press . d!open . d?opened . d!close . u!served . d?closed . x";
     out.push(CheckOutcome {
         name: "Elevator",
-        rumpsteak: Some(subtype("c", elevator_controller_opt, elevator_controller, 4)),
+        rumpsteak: Some(subtype(
+            "c",
+            elevator_controller_opt,
+            elevator_controller,
+            4,
+        )),
         kmc: Some(kmc_ok(
             &[
                 ("u", "rec x . c!press . c?served . x"),

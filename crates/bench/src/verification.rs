@@ -371,7 +371,11 @@ pub mod k_buffering {
 
     /// Rumpsteak check: optimised kernel ≤ projected kernel.
     pub fn check_rumpsteak(n: usize) -> bool {
-        subtyping::is_subtype(&to_fsm("k", &optimised(n)), &to_fsm("k", &projected()), n + 4)
+        subtyping::is_subtype(
+            &to_fsm("k", &optimised(n)),
+            &to_fsm("k", &projected()),
+            n + 4,
+        )
     }
 
     /// k-MC check of the whole optimised system with channel bound n+1.

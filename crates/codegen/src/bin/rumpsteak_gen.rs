@@ -1,0 +1,176 @@
+//! `rumpsteak-gen` — generate Rust session-type APIs from Scribble.
+//!
+//! The top-down workflow of the paper (Fig 1a) as one command:
+//!
+//! ```text
+//! rumpsteak-gen protocol.scr                      # Rust module to stdout
+//! rumpsteak-gen protocol.scr --check --k 2        # verify before emitting
+//! rumpsteak-gen protocol.scr --format dot         # Graphviz FSMs
+//! rumpsteak-gen protocol.scr --format fsm         # `role: local type` lines
+//! rumpsteak-gen - < protocol.scr -o generated.rs  # stdin → file
+//! ```
+//!
+//! Exit codes: 0 success, 1 verification or generation failure, 2 usage or
+//! I/O error.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rumpsteak-gen [FILE | -] [options]
+
+Generates Rust session-type declarations for the `rumpsteak` runtime from
+a Scribble `global protocol`, running parse -> projection -> FSM
+conversion (and optionally verification) on the way.
+
+options:
+    --format rust|dot|fsm   output format (default: rust)
+                              rust  self-contained module of rumpsteak
+                                    declarations
+                              dot   one Graphviz digraph per projected FSM
+                              fsm   `role: local type` lines, the input
+                                    format of the kmc and subtype tools
+    --check                 verify the projected system before emitting:
+                            k-MC (deadlocks, reception errors, orphans)
+                            plus a reflexive subtyping sanity pass
+    --k N                   channel bound for --check (default: 2)
+    -o, --output FILE       write output to FILE instead of stdout
+    -h, --help              show this help";
+
+enum Format {
+    Rust,
+    Dot,
+    Fsm,
+}
+
+struct Options {
+    input: Option<String>,
+    format: Format,
+    check: bool,
+    k: usize,
+    output: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        input: None,
+        format: Format::Rust,
+        check: false,
+        k: 2,
+        output: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                options.format = match iter.next().map(String::as_str) {
+                    Some("rust") => Format::Rust,
+                    Some("dot") => Format::Dot,
+                    Some("fsm") => Format::Fsm,
+                    Some(other) => return Err(format!("unknown format `{other}`")),
+                    None => return Err("--format requires rust|dot|fsm".into()),
+                };
+            }
+            "--check" => options.check = true,
+            "--k" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) if value >= 1 => options.k = value,
+                _ => return Err("--k requires an integer >= 1".into()),
+            },
+            "-o" | "--output" => match iter.next() {
+                Some(path) => options.output = Some(path.clone()),
+                None => return Err("--output requires a path".into()),
+            },
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            other if options.input.is_none() => options.input = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match options.input.as_deref() {
+        None | Some("-") => {
+            let mut buffer = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buffer) {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buffer
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let analysis = match codegen::analyse(&source) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.check {
+        match codegen::check(&analysis, options.k) {
+            Ok(report) => eprintln!(
+                "verified: {}-MC safe, {} configurations, {} transitions{}",
+                options.k,
+                report.configurations,
+                report.transitions,
+                if report.exhaustive {
+                    ""
+                } else {
+                    " (not k-exhaustive: verdict holds up to this bound)"
+                }
+            ),
+            Err(e) => {
+                eprintln!("error: verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rendered = match options.format {
+        Format::Rust => match codegen::rust_module(&analysis) {
+            Ok(module) => module,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Format::Dot => codegen::dot_listing(&analysis),
+        Format::Fsm => codegen::fsm_listing(&analysis),
+    };
+
+    match options.output.as_deref() {
+        None => print!("{rendered}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,167 @@
+//! Deterministic name mangling from Scribble identifiers to Rust ones.
+//!
+//! The generator must produce the same output for the same input on every
+//! run, so every mapping here is a pure function of the input string:
+//! no gensyms, no global counters.
+
+/// Converts a Scribble identifier to an UpperCamelCase Rust type name.
+///
+/// Splits on `_` and on lower→upper case changes, then capitalises each
+/// segment: `ready` → `Ready`, `double_buffering` → `DoubleBuffering`,
+/// `myLabel` → `MyLabel`. A leading digit is prefixed with `N`.
+pub fn pascal_case(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut upper_next = true;
+    let mut previous_lower = false;
+    for c in input.chars() {
+        if c == '_' {
+            upper_next = true;
+            previous_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && previous_lower {
+            upper_next = true;
+        }
+        if upper_next {
+            out.extend(c.to_uppercase());
+        } else {
+            out.push(c);
+        }
+        upper_next = false;
+        previous_lower = c.is_lowercase() || c.is_numeric();
+    }
+    if out.chars().next().is_some_and(|c| c.is_numeric()) {
+        out.insert(0, 'N');
+    }
+    // `Self` is the one capitalised identifier rustc reserves, and it
+    // cannot be raw-escaped either.
+    if out == "Self" {
+        out.push('_');
+    }
+    out
+}
+
+/// Converts a Scribble identifier to a snake_case Rust field name.
+///
+/// `K` → `k`, `MyRole` → `my_role`. Raw-identifier-escapes Rust keywords
+/// (`loop` → `r#loop`) so any Scribble role name yields a valid field.
+pub fn snake_case(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut previous_lower = false;
+    for c in input.chars() {
+        if c == '_' {
+            out.push('_');
+            previous_lower = false;
+            continue;
+        }
+        if c.is_uppercase() {
+            if previous_lower {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+        previous_lower = c.is_lowercase() || c.is_numeric();
+    }
+    if out.chars().next().is_some_and(|c| c.is_numeric()) {
+        out.insert(0, 'n');
+    }
+    if matches!(out.as_str(), "self" | "super" | "crate" | "_") {
+        // Path keywords cannot be raw identifiers; suffix instead.
+        format!("{out}_")
+    } else if is_keyword(&out) {
+        format!("r#{out}")
+    } else {
+        out
+    }
+}
+
+/// The Rust keywords a Scribble identifier could collide with.
+fn is_keyword(ident: &str) -> bool {
+    matches!(
+        ident,
+        "abstract"
+            | "as"
+            | "become"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+            | "box"
+            | "do"
+            | "final"
+            | "macro"
+            | "override"
+            | "priv"
+            | "try"
+            | "typeof"
+            | "unsized"
+            | "virtual"
+            | "yield"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pascal_case_variants() {
+        assert_eq!(pascal_case("ready"), "Ready");
+        assert_eq!(pascal_case("s"), "S");
+        assert_eq!(pascal_case("double_buffering"), "DoubleBuffering");
+        assert_eq!(pascal_case("myLabel"), "MyLabel");
+        assert_eq!(pascal_case("Loop"), "Loop");
+        assert_eq!(pascal_case("2phase"), "N2phase");
+        assert_eq!(pascal_case("self"), "Self_");
+    }
+
+    #[test]
+    fn snake_case_variants() {
+        assert_eq!(snake_case("K"), "k");
+        assert_eq!(snake_case("MyRole"), "my_role");
+        assert_eq!(snake_case("s"), "s");
+        assert_eq!(snake_case("loop"), "r#loop");
+        assert_eq!(snake_case("2b"), "n2b");
+        // Path keywords cannot be raw identifiers.
+        assert_eq!(snake_case("self"), "self_");
+        assert_eq!(snake_case("super"), "super_");
+        assert_eq!(snake_case("crate"), "crate_");
+        // Reserved-but-unused keywords still need escaping.
+        assert_eq!(snake_case("abstract"), "r#abstract");
+        assert_eq!(snake_case("become"), "r#become");
+    }
+}

@@ -47,10 +47,7 @@ impl<T> Bidirectional<T> {
     }
 
     /// Poll-based receive for hand-written futures.
-    pub fn poll_recv(
-        &mut self,
-        cx: &mut std::task::Context<'_>,
-    ) -> std::task::Poll<Option<T>> {
+    pub fn poll_recv(&mut self, cx: &mut std::task::Context<'_>) -> std::task::Poll<Option<T>> {
         self.rx.poll_recv(cx)
     }
 

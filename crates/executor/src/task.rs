@@ -75,12 +75,10 @@ impl Task {
                 SCHEDULED | NOTIFIED | DONE => return,
                 _ => unreachable!("invalid task state {state}"),
             };
-            match self.state.compare_exchange_weak(
-                state,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .state
+                .compare_exchange_weak(state, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => {
                     if next == SCHEDULED {
                         self.shared.push(self.clone());

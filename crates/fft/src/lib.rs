@@ -191,7 +191,10 @@ pub fn stage_twiddle(index: usize, distance: usize, total: usize) -> Complex {
     let block = 2 * distance;
     let position = index % distance;
     let exponent = position * (total / block);
-    Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * exponent as f64 / total as f64)
+    Complex::from_polar(
+        1.0,
+        -2.0 * std::f64::consts::PI * exponent as f64 / total as f64,
+    )
 }
 
 /// Naive O(n²) DFT, used as the oracle in tests.

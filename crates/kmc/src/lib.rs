@@ -288,11 +288,8 @@ mod tests {
 
     #[test]
     fn two_party_ping_pong_is_safe() {
-        let system = system_from_locals(&[
-            ("a", "b!ping.b?pong.end"),
-            ("b", "a?ping.a!pong.end"),
-        ])
-        .unwrap();
+        let system =
+            system_from_locals(&[("a", "b!ping.b?pong.end"), ("b", "a?ping.a!pong.end")]).unwrap();
         let report = check(&system, 1).unwrap();
         assert!(report.exhaustive);
         assert!(report.configurations >= 4);
@@ -302,32 +299,20 @@ mod tests {
     fn example2_deadlock_detected() {
         // Both participants reordered to receive first: classic deadlock
         // (paper Example 2, unsafe direction).
-        let system = system_from_locals(&[
-            ("p", "q?l2.q!l1.end"),
-            ("q", "p?l1.p!l2.end"),
-        ])
-        .unwrap();
+        let system = system_from_locals(&[("p", "q?l2.q!l1.end"), ("q", "p?l1.p!l2.end")]).unwrap();
         assert!(matches!(check(&system, 2), Err(Violation::Deadlock(_))));
     }
 
     #[test]
     fn example2_safe_reorder_passes() {
         // Only q reordered (send first): safe.
-        let system = system_from_locals(&[
-            ("p", "q!l1.q?l2.end"),
-            ("q", "p!l2.p?l1.end"),
-        ])
-        .unwrap();
+        let system = system_from_locals(&[("p", "q!l1.q?l2.end"), ("q", "p!l2.p?l1.end")]).unwrap();
         check(&system, 2).unwrap();
     }
 
     #[test]
     fn reception_error_detected() {
-        let system = system_from_locals(&[
-            ("a", "b!oops.end"),
-            ("b", "a?expected.end"),
-        ])
-        .unwrap();
+        let system = system_from_locals(&[("a", "b!oops.end"), ("b", "a?expected.end")]).unwrap();
         assert!(matches!(
             check(&system, 1),
             Err(Violation::ReceptionError { .. })

@@ -89,8 +89,7 @@ use std::fmt;
 pub use role::{Message, Role, Route};
 pub use serialize::{serialize, ChoicesFsm, SessionFsm};
 pub use session::{
-    try_session, Branch, Choice, Choices, End, FromState, IntoSession, Receive, Select, Send,
-    State,
+    try_session, Branch, Choice, Choices, End, FromState, IntoSession, Receive, Select, Send, State,
 };
 
 /// Errors surfaced by session operations at runtime.

@@ -382,10 +382,12 @@ macro_rules! session {
             }
         }
 
-        impl<$lt> $crate::SessionFsm for $name<$lt>
-        where
-            $inner: $crate::SessionFsm,
-        {
+        // Deliberately unconditional (no `$inner: SessionFsm` bound): a
+        // conditional impl would send trait resolution through the
+        // recursion cycle and overflow on choice-free loops; the body
+        // itself re-proves the obligation, which terminates because it
+        // passes through this very impl.
+        impl<$lt> $crate::SessionFsm for $name<$lt> {
             const KEY: Option<&'static str> = Some(stringify!($name));
             fn fill(
                 builder: &mut ::theory::fsm::FsmBuilder,

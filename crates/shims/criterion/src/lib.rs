@@ -1,0 +1,228 @@
+//! A minimal, API-compatible stand-in for the `criterion` benchmark
+//! harness (the build container has no crates.io access).
+//!
+//! It implements the subset the workspace's benches use — groups,
+//! `bench_function`/`bench_with_input`, throughput annotation and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! fixed-budget timing loop instead of criterion's statistical sampling.
+//! Results are printed as `group/id: <mean> per iter (<n> iters)`; there
+//! is no HTML report and no outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-iteration timing callback holder passed to bench closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean per-iteration time and iteration count of the last `iter` run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the measurement
+    /// budget (at least once).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up execution, untimed.
+        black_box(routine());
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters == 0 || started.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = started.elapsed();
+        self.result = Some((elapsed / iters.max(1) as u32, iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; the shim's
+    /// timing loop is budget-based, so this is a no-op).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration (no-op: the shim warms up with a single
+    /// untimed execution).
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id.to_string(), f)
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input))
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        let line = match bencher.result {
+            Some((mean, iters)) => {
+                let throughput = match self.throughput {
+                    Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                        format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                        format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                format!(
+                    "{}/{}: {:?} per iter ({} iters){}",
+                    self.name, id, mean, iters, throughput
+                )
+            }
+            None => format!("{}/{}: no measurement", self.name, id),
+        };
+        self.criterion.report(&line);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    fn report(&mut self, line: &str) {
+        println!("{line}");
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

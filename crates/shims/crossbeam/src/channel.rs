@@ -1,0 +1,283 @@
+//! Blocking MPMC channel shim: the `crossbeam_channel` surface used by the
+//! baseline frameworks.
+//!
+//! `bounded(0)` is a true rendezvous channel: `send` returns only once a
+//! receiver has taken the message (or errors, handing the message back,
+//! if every receiver disappears first). Positive capacities block sends
+//! only while the buffer is full.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct State<T> {
+    /// Queued messages tagged with their send sequence number.
+    queue: VecDeque<(u64, T)>,
+    /// Sequence number assigned to the next send.
+    next_seq: u64,
+    /// Sequence number up to which messages have been consumed
+    /// (exclusive): message `s` is delivered once `popped > s`.
+    popped: u64,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Buffer capacity; 0 means rendezvous.
+    capacity: usize,
+    /// Signalled when buffer space frees up or a message is consumed
+    /// (rendezvous acknowledgement) or the receivers disappear.
+    space: Condvar,
+    /// Signalled when a message arrives or the senders disappear.
+    items: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message back like the real crate.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a blocking channel of the given capacity (0 = rendezvous).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            next_seq: 0,
+            popped: 0,
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        space: Condvar::new(),
+        items: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`: blocks while the buffer is full, and — for a
+    /// rendezvous channel — until a receiver has consumed the message.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock();
+        while self.shared.capacity > 0 && state.queue.len() >= self.shared.capacity {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            self.shared.space.wait(&mut state);
+        }
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.queue.push_back((seq, value));
+        self.shared.items.notify_one();
+        if self.shared.capacity == 0 {
+            // Rendezvous: wait until this very message has been taken.
+            while state.popped <= seq {
+                if state.receivers == 0 {
+                    // Reclaim the message if it is still queued; if a
+                    // receiver took it just before dropping, it counts as
+                    // delivered.
+                    return match state.queue.iter().position(|(s, _)| *s == seq) {
+                        Some(index) => {
+                            let (_, value) = state.queue.remove(index).expect("index valid");
+                            Err(SendError(value))
+                        }
+                        None => Ok(()),
+                    };
+                }
+                self.shared.space.wait(&mut state);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some((seq, value)) = state.queue.pop_front() {
+                state.popped = seq + 1;
+                drop(state);
+                // notify_all: several rendezvous senders may be waiting
+                // and each re-checks its own sequence number.
+                self.shared.space.notify_all();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            self.shared.items.wait(&mut state);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().receivers += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.items.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.space.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn rendezvous_send_returns_only_after_consumption() {
+        let (tx, rx) = bounded(0);
+        let consumed = Arc::new(AtomicBool::new(false));
+        let flag = consumed.clone();
+        let producer = std::thread::spawn(move || {
+            tx.send(7u32).unwrap();
+            // A rendezvous send can only return after recv took the
+            // message, which happens strictly after the flag is set.
+            assert!(flag.load(Ordering::SeqCst), "send returned early");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        consumed.store(true, Ordering::SeqCst);
+        assert_eq!(rx.recv(), Ok(7));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn rendezvous_send_recovers_message_on_disconnect() {
+        let (tx, rx) = bounded(0);
+        let receiver_dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+        });
+        let SendError(value) = tx.send(42u32).unwrap_err();
+        assert_eq!(value, 42);
+        receiver_dropper.join().unwrap();
+    }
+
+    #[test]
+    fn rendezvous_many_messages_in_order() {
+        let (tx, rx) = bounded(0);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_rendezvous_pair() {
+        let (a_tx, b_rx) = bounded(0);
+        let (b_tx, a_rx) = bounded(0);
+        let peer = std::thread::spawn(move || {
+            let v: u32 = b_rx.recv().unwrap();
+            b_tx.send(v + 1).unwrap();
+        });
+        a_tx.send(41u32).unwrap();
+        assert_eq!(a_rx.recv(), Ok(42));
+        peer.join().unwrap();
+    }
+}

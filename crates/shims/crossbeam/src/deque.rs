@@ -1,0 +1,166 @@
+//! Work-stealing deque shim: the `crossbeam_deque` surface used by the
+//! executor, implemented with mutexed queues.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Maximum number of tasks moved per [`Injector::steal_batch_and_pop`].
+const BATCH: usize = 16;
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The queue was empty.
+    Empty,
+    /// Transient contention; the caller should retry. Never produced by
+    /// this shim (locks serialise access) but kept for API compatibility.
+    Retry,
+}
+
+/// The worker-local end of a deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the local queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().push_back(task);
+    }
+
+    /// Pops the next local task.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+
+    /// True if the local queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Creates a stealer handle sharing this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// A handle other workers use to steal from a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// The global injection queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        self.queue.lock().push_back(task);
+    }
+
+    /// True if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Steals a batch of tasks into `worker`'s queue, returning the first.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock();
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        let batch: Vec<T> = (0..BATCH.min(queue.len()))
+            .filter_map(|_| queue.pop_front())
+            .collect();
+        drop(queue);
+        if !batch.is_empty() {
+            let mut local = worker.queue.lock();
+            local.extend(batch);
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_drains_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(7);
+        assert!(matches!(s.steal(), Steal::Success(7)));
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_batch_moves_into_worker() {
+        let injector = Injector::new();
+        for i in 0..5 {
+            injector.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert!(matches!(
+            injector.steal_batch_and_pop(&w),
+            Steal::Success(0)
+        ));
+        assert!(injector.is_empty());
+        assert_eq!(w.pop(), Some(1));
+    }
+}

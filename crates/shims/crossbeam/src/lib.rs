@@ -1,0 +1,15 @@
+//! A minimal, API-compatible stand-in for the `crossbeam` crate (the build
+//! container has no crates.io access). Provides the two modules this
+//! workspace uses:
+//!
+//! * [`deque`] — `Worker`/`Stealer`/`Injector`/`Steal`, backed by mutexed
+//!   `VecDeque`s rather than lock-free Chase–Lev deques. Semantics match;
+//!   raw throughput under heavy contention is of course lower than the
+//!   real crate's, which only affects benchmark absolute numbers.
+//! * [`channel`] — blocking MPMC `bounded` channels. Capacity 0 is a
+//!   true rendezvous: `send` returns only once a receiver has consumed
+//!   the message, matching the synchronous semantics the Sesh- and
+//!   MultiCrusty-style baselines are benchmarked under.
+
+pub mod channel;
+pub mod deque;

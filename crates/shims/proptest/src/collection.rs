@@ -1,0 +1,71 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Length specification for [`vec`]: an exact size or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            start: exact,
+            end: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        Self {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+/// Strategy for vectors of values from `element`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + if span > 1 { rng.below(span) } else { 0 };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..50 {
+            assert_eq!(vec(0u32..5, 8).generate(&mut rng).len(), 8);
+            let len = vec(0u32..5, 1..4).generate(&mut rng).len();
+            assert!((1..4).contains(&len));
+        }
+    }
+}

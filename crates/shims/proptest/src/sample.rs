@@ -1,0 +1,37 @@
+//! Sampling strategies (`proptest::sample` subset).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// Chooses one of `options` uniformly (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_listed_options() {
+        let mut rng = TestRng::from_name("select");
+        for _ in 0..50 {
+            let v = select(vec!["a", "b"]).generate(&mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+}

@@ -40,7 +40,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: soundbinary <subtype> <supertype> [--max-depth N] [--max-steps N]");
+                eprintln!(
+                    "usage: soundbinary <subtype> <supertype> [--max-depth N] [--max-steps N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => positional.push(other.to_owned()),

@@ -92,7 +92,11 @@ impl Context {
         match self {
             Context::Leaf(_) => 0,
             Context::Node(children) => {
-                1 + children.iter().map(|(_, _, c)| c.depth()).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(|(_, _, c)| c.depth())
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -159,8 +163,7 @@ struct Simulation {
 impl Simulation {
     fn step(&mut self, sub: LocalType, context: Context) -> bool {
         self.steps += 1;
-        if self.steps > self.limits.max_steps || context.depth() > self.limits.max_context_depth
-        {
+        if self.steps > self.limits.max_steps || context.depth() > self.limits.max_context_depth {
             return false;
         }
 
@@ -236,12 +239,12 @@ impl Simulation {
             Some(context) => context,
             None => return false,
         };
-        branches.iter().all(|branch| {
-            match select_leaf(&saturated, &branch.label, &branch.sort) {
+        branches.iter().all(
+            |branch| match select_leaf(&saturated, &branch.label, &branch.sort) {
                 Some(next) => self.step(branch.continuation.clone(), next),
                 None => false,
-            }
-        })
+            },
+        )
     }
 }
 

@@ -175,9 +175,7 @@ pub fn reduce_step(sub: &mut Prefix, sup: &mut Prefix) -> Reduction {
                 action.direction == Direction::Receive && action.peer != head.peer
             }
             // B(p): any inputs, and outputs to participants other than p.
-            Direction::Send => {
-                action.direction == Direction::Receive || action.peer != head.peer
-            }
+            Direction::Send => action.direction == Direction::Receive || action.peer != head.peer,
         };
         if !context_ok {
             return Reduction::DeadEnd;
@@ -306,7 +304,10 @@ mod tests {
         prefix.revert(snapshot);
         assert_eq!(prefix.len(), 3);
         assert_eq!(
-            prefix.live().map(|(_, a)| a.label.as_str()).collect::<Vec<_>>(),
+            prefix
+                .live()
+                .map(|(_, a)| a.label.as_str())
+                .collect::<Vec<_>>(),
             vec!["1", "2", "3"]
         );
     }

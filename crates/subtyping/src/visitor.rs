@@ -119,22 +119,18 @@ impl<'a> SubtypeVisitor<'a> {
 
         let result = match (sub_direction, sup_direction) {
             // [oo]: ∀i ∈ I. ∃j ∈ J (the subtype may drop internal choices).
-            (Direction::Send, Direction::Send) => (0..sub_count).all(|i| {
-                (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))
-            }),
+            (Direction::Send, Direction::Send) => (0..sub_count)
+                .all(|i| (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))),
             // [oi]: ∀i. ∀j — the subtype's output must anticipate across
             // every input the supertype might perform.
-            (Direction::Send, Direction::Receive) => (0..sub_count).all(|i| {
-                (0..sup_count).all(|j| self.try_pair(sub_state, i, sup_state, j))
-            }),
+            (Direction::Send, Direction::Receive) => (0..sub_count)
+                .all(|i| (0..sup_count).all(|j| self.try_pair(sub_state, i, sup_state, j))),
             // [ii]: ∀j. ∃i (the subtype may accept extra external choices).
-            (Direction::Receive, Direction::Receive) => (0..sup_count).all(|j| {
-                (0..sub_count).any(|i| self.try_pair(sub_state, i, sup_state, j))
-            }),
+            (Direction::Receive, Direction::Receive) => (0..sup_count)
+                .all(|j| (0..sub_count).any(|i| self.try_pair(sub_state, i, sup_state, j))),
             // [io]: ∃i. ∃j.
-            (Direction::Receive, Direction::Send) => (0..sub_count).any(|i| {
-                (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))
-            }),
+            (Direction::Receive, Direction::Send) => (0..sub_count)
+                .any(|i| (0..sup_count).any(|j| self.try_pair(sub_state, i, sup_state, j))),
         };
 
         // Restore the entry for sibling branches of the search.

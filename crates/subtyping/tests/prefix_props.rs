@@ -32,22 +32,20 @@ fn arbitrary_prefix() -> impl Strategy<Value = Vec<Action>> {
 }
 
 fn live_labels(prefix: &Prefix) -> Vec<String> {
-    prefix
-        .live()
-        .map(|(_, a)| format!("{a}"))
-        .collect()
+    prefix.live().map(|(_, a)| format!("{a}")).collect()
 }
 
 fn binary_local_type() -> impl Strategy<Value = LocalType> {
     let leaf = Just(LocalType::End);
     leaf.prop_recursive(3, 16, 2, |inner| {
-        let branch = (proptest::sample::select(vec!["a", "b"]), inner).prop_map(
-            |(label, continuation)| LocalBranch {
-                label: label.into(),
-                sort: Sort::Unit,
-                continuation,
-            },
-        );
+        let branch =
+            (proptest::sample::select(vec!["a", "b"]), inner).prop_map(|(label, continuation)| {
+                LocalBranch {
+                    label: label.into(),
+                    sort: Sort::Unit,
+                    continuation,
+                }
+            });
         let dedup = |mut branches: Vec<LocalBranch>| {
             branches.sort_by(|x, y| x.label.cmp(&y.label));
             branches.dedup_by(|x, y| x.label == y.label);

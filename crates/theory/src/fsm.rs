@@ -451,10 +451,7 @@ mod tests {
         let initial = fsm.initial();
         let transitions = fsm.transitions(initial);
         assert_eq!(transitions.len(), 1);
-        assert_eq!(
-            transitions[0].0,
-            Action::receive("t", "ready", Sort::Unit)
-        );
+        assert_eq!(transitions[0].0, Action::receive("t", "ready", Sort::Unit));
         let choice = transitions[0].1;
         let choice_transitions = fsm.transitions(choice);
         assert_eq!(choice_transitions.len(), 2);

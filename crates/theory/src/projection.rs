@@ -118,11 +118,7 @@ fn project_inner(global: &GlobalType, role: &Name) -> Result<LocalType, Projecti
 }
 
 /// Full merge of two projections of an uninvolved participant.
-pub fn merge(
-    role: &Name,
-    left: LocalType,
-    right: LocalType,
-) -> Result<LocalType, ProjectionError> {
+pub fn merge(role: &Name, left: LocalType, right: LocalType) -> Result<LocalType, ProjectionError> {
     if left == right {
         return Ok(left);
     }
@@ -271,7 +267,10 @@ mod tests {
     #[test]
     fn double_buffering_source_and_sink_match_fig4() {
         let source = project(&double_buffering(), &"s".into()).unwrap();
-        assert_eq!(source, local::parse("rec x . k?ready . k!value . x").unwrap());
+        assert_eq!(
+            source,
+            local::parse("rec x . k?ready . k!value . x").unwrap()
+        );
         let sink = project(&double_buffering(), &"t".into()).unwrap();
         assert_eq!(sink, local::parse("rec x . k!ready . k?value . x").unwrap());
     }

@@ -165,14 +165,11 @@ pub fn parse(source: &str) -> Result<Protocol, ScribbleError> {
     if parser.position != parser.tokens.len() {
         return Err(parser.error("trailing tokens after protocol"));
     }
-    protocol
-        .body
-        .validate()
-        .map_err(|e| ScribbleError {
-            message: e.to_string(),
-            line: 0,
-            column: 0,
-        })?;
+    protocol.body.validate().map_err(|e| ScribbleError {
+        message: e.to_string(),
+        line: 0,
+        column: 0,
+    })?;
     Ok(protocol)
 }
 

@@ -11,8 +11,7 @@
 //! ```
 
 use rumpsteak::{
-    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
-    Send,
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select, Send,
 };
 
 pub struct D0(pub u32);

@@ -54,20 +54,26 @@ async fn coordinator(role: &mut Coordinator) -> rumpsteak::Result<u64> {
 }
 
 async fn worker_one(role: &mut WorkerOne) -> rumpsteak::Result<()> {
-    try_session(role, |s: WorkerSession<'_, WorkerOne, Coordinator>| async move {
-        let (Job(n), s) = s.receive().await?;
-        let end = s.send(Done(n + 21)).await?; // "compute"
-        Ok(((), end))
-    })
+    try_session(
+        role,
+        |s: WorkerSession<'_, WorkerOne, Coordinator>| async move {
+            let (Job(n), s) = s.receive().await?;
+            let end = s.send(Done(n + 21)).await?; // "compute"
+            Ok(((), end))
+        },
+    )
     .await
 }
 
 async fn worker_two(role: &mut WorkerTwo) -> rumpsteak::Result<()> {
-    try_session(role, |s: WorkerSession<'_, WorkerTwo, Coordinator>| async move {
-        let (Job(n), s) = s.receive().await?;
-        let end = s.send(Done(n >> 1)).await?;
-        Ok(((), end))
-    })
+    try_session(
+        role,
+        |s: WorkerSession<'_, WorkerTwo, Coordinator>| async move {
+            let (Job(n), s) = s.receive().await?;
+            let end = s.send(Done(n >> 1)).await?;
+            Ok(((), end))
+        },
+    )
     .await
 }
 
@@ -76,7 +82,10 @@ fn main() {
     let parallel = rumpsteak::serialize::<Parallel<'static>>().unwrap();
     let w1 = rumpsteak::serialize::<WorkerSession<'static, WorkerOne, Coordinator>>().unwrap();
     let w2 = rumpsteak::serialize::<WorkerSession<'static, WorkerTwo, Coordinator>>().unwrap();
-    println!("serialised coordinator FSM:\n{}", theory::dot::to_dot(&parallel));
+    println!(
+        "serialised coordinator FSM:\n{}",
+        theory::dot::to_dot(&parallel)
+    );
 
     // Global k-MC verification of the optimised system.
     let system = kmc::System::new(vec![parallel.clone(), w1, w2]).unwrap();

@@ -98,11 +98,9 @@ fn main() {
     // Projection sanity: the Scribble projection of K equals the
     // serialised Kernel API.
     let protocol = theory::scribble::parse(SCRIBBLE).expect("well-formed Scribble");
-    let projected_k = theory::fsm::from_local(
-        &"K".into(),
-        &project(&protocol.body, &"K".into()).unwrap(),
-    )
-    .unwrap();
+    let projected_k =
+        theory::fsm::from_local(&"K".into(), &project(&protocol.body, &"K".into()).unwrap())
+            .unwrap();
     let kernel_api = rumpsteak::serialize::<Kernel<'static>>().unwrap();
     assert!(subtyping::is_subtype(&kernel_api, &projected_k, 4));
 

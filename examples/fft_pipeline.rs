@@ -14,8 +14,7 @@
 
 use fft::{Complex, Planner};
 use rumpsteak::{
-    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
-    Send,
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select, Send,
 };
 
 const FFT_SIZE: usize = 64;

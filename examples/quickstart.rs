@@ -10,8 +10,7 @@
 //! ```
 
 use rumpsteak::{
-    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
-    Send,
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select, Send,
 };
 use theory::projection::project;
 
@@ -112,11 +111,9 @@ fn main() {
     // 3. The hand-written API matches the projection (hybrid workflow):
     //    serialise the Rust session type back into an FSM and compare.
     let api = rumpsteak::serialize::<Source<'static>>().expect("serialisable");
-    let projected = theory::fsm::from_local(
-        &"S".into(),
-        &project(&protocol.body, &"S".into()).unwrap(),
-    )
-    .unwrap();
+    let projected =
+        theory::fsm::from_local(&"S".into(), &project(&protocol.body, &"S".into()).unwrap())
+            .unwrap();
     assert!(subtyping::is_subtype(&api, &projected, 4));
     println!("source API conforms to its projection: OK");
 

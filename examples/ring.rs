@@ -75,9 +75,21 @@ fn main() {
     // Verify each participant's optimisation locally (paper Fig 7, Ring):
     // the optimised FSM is a subtype of the projected one.
     for (role, optimised, projected) in [
-        ("A", "rec x . b!token . c?token . x", "rec x . b!token . c?token . x"),
-        ("B", "rec x . c!token . a?token . x", "rec x . a?token . c!token . x"),
-        ("C", "rec x . a!token . b?token . x", "rec x . b?token . a!token . x"),
+        (
+            "A",
+            "rec x . b!token . c?token . x",
+            "rec x . b!token . c?token . x",
+        ),
+        (
+            "B",
+            "rec x . c!token . a?token . x",
+            "rec x . a?token . c!token . x",
+        ),
+        (
+            "C",
+            "rec x . a!token . b?token . x",
+            "rec x . b?token . a!token . x",
+        ),
     ] {
         let optimised = theory::local::parse(optimised).unwrap();
         let projected = theory::local::parse(projected).unwrap();

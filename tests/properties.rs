@@ -60,7 +60,11 @@ fn looped(t: LocalType) -> LocalType {
 /// A choice-free global type over three roles: a random sequence of
 /// messages.
 fn sequence_global() -> impl Strategy<Value = theory::GlobalType> {
-    let step = (0usize..3, 0usize..3, proptest::sample::select(vec!["l", "m", "n"]))
+    let step = (
+        0usize..3,
+        0usize..3,
+        proptest::sample::select(vec!["l", "m", "n"]),
+    )
         .prop_filter("no self messages", |(from, to, _)| from != to);
     proptest::collection::vec(step, 1..8).prop_map(|steps| {
         let roles = ["a", "b", "c"];

@@ -2,8 +2,7 @@
 //! macros, executor and verification working together.
 
 use rumpsteak::{
-    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select,
-    Send,
+    choice, messages, roles, session, try_session, Branch, End, IntoSession, Receive, Select, Send,
 };
 
 pub struct Ping(pub u32);
