@@ -2,36 +2,193 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig6 [streaming|double-buffering|fft]
+//! cargo run --release -p bench --bin fig6 -- --json [--quick]
 //! ```
 //!
-//! Prints one row per parameter value with the throughput (items/µs) of
-//! every framework, in the same format as the paper's raw data tables.
+//! The default mode prints one row per parameter value with the
+//! throughput (items/µs) of every framework, in the same format as the
+//! paper's raw data tables.
+//!
+//! `--json` instead sweeps the Rumpsteak implementations (plus the ring
+//! and mesh scheduler-scaling workloads) across worker-thread counts and
+//! writes `BENCH_fig6.json` (protocol × threads × ns/op) to the current
+//! directory — the repo's perf-trajectory artifact. `--quick` shrinks
+//! workload sizes and time budgets for CI smoke runs.
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use bench::protocols::{double_buffering, fft8, streaming};
+use bench::scaling;
 use bench::timing::{measure, throughput};
 
 const BUDGET: Duration = Duration::from_millis(300);
 const MAX_RUNS: usize = 50;
 
+/// Worker-thread counts swept by `--json`.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut json = false;
+    let mut quick = false;
+    let mut which: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "streaming" | "double-buffering" | "fft" | "all" => which = Some(arg),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; \
+                     expected streaming|double-buffering|fft|all, --json, --quick"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if json && which.is_some() {
+        eprintln!("--json always sweeps every protocol; drop the table name");
+        std::process::exit(2);
+    }
+    if quick && !json {
+        eprintln!("--quick only applies to --json mode");
+        std::process::exit(2);
+    }
+
+    if json {
+        emit_json(quick);
+        return;
+    }
+    let which = which.unwrap_or_else(|| "all".into());
+
     let rt = executor::Runtime::with_default_threads();
     match which.as_str() {
         "streaming" => table_streaming(&rt),
         "double-buffering" => table_double_buffering(&rt),
         "fft" => table_fft(&rt),
-        "all" => {
+        _ => {
             table_streaming(&rt);
             table_double_buffering(&rt);
             table_fft(&rt);
         }
-        other => {
-            eprintln!("unknown table `{other}`; expected streaming|double-buffering|fft|all");
-            std::process::exit(2);
-        }
     }
+}
+
+/// One measured cell of the `--json` sweep.
+struct JsonResult {
+    protocol: &'static str,
+    threads: usize,
+    /// `"key": value` pairs describing the workload size.
+    params: String,
+    ops: u64,
+    ns_per_op: f64,
+}
+
+fn emit_json(quick: bool) {
+    let budget = if quick {
+        Duration::from_millis(40)
+    } else {
+        BUDGET
+    };
+    let max_runs = if quick { 5 } else { MAX_RUNS };
+    // Workload sizes: (ring tasks, ring laps, mesh peers, mesh rounds,
+    // streaming n, double-buffering n, fft columns).
+    let (ring_tasks, ring_laps, mesh_peers, mesh_rounds, stream_n, buffer_n, fft_n) = if quick {
+        (16, 20, 6, 10, 20, 1000, 200)
+    } else {
+        (64, 100, 12, 50, 50, 10000, 1000)
+    };
+
+    let mut results = Vec::new();
+    for threads in THREADS {
+        let rt = executor::Runtime::new(threads);
+        let mut bench = |protocol: &'static str, params: String, ops: u64, f: &mut dyn FnMut()| {
+            let mean = measure(f, budget, max_runs);
+            results.push(JsonResult {
+                protocol,
+                threads,
+                params,
+                ops,
+                ns_per_op: mean.as_nanos() as f64 / ops as f64,
+            });
+        };
+
+        bench(
+            "ring",
+            format!("\"tasks\": {ring_tasks}, \"laps\": {ring_laps}"),
+            (ring_tasks * ring_laps) as u64,
+            &mut || {
+                scaling::run_ring(&rt, ring_tasks, ring_laps);
+            },
+        );
+        bench(
+            "mesh",
+            format!("\"peers\": {mesh_peers}, \"rounds\": {mesh_rounds}"),
+            (mesh_peers * (mesh_peers - 1) * mesh_rounds) as u64,
+            &mut || {
+                scaling::run_mesh(&rt, mesh_peers, mesh_rounds);
+            },
+        );
+        bench(
+            "streaming",
+            format!("\"n\": {stream_n}"),
+            u64::from(stream_n),
+            &mut || {
+                streaming::run_rumpsteak(&rt, stream_n, true);
+            },
+        );
+        bench(
+            "double_buffering",
+            format!("\"n\": {buffer_n}"),
+            buffer_n as u64,
+            &mut || {
+                double_buffering::run_rumpsteak(&rt, buffer_n, true);
+            },
+        );
+        bench("fft", format!("\"n\": {fft_n}"), fft_n as u64, &mut || {
+            fft8::run_rumpsteak(&rt, fft_n);
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig6\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    out.push_str("  \"unit\": \"ns/op\",\n  \"results\": [\n");
+    for (index, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"protocol\": \"{}\", \"threads\": {}, \"params\": {{{}}}, \
+             \"ops\": {}, \"ns_per_op\": {:.1}}}",
+            r.protocol, r.threads, r.params, r.ops, r.ns_per_op
+        );
+        out.push_str(if index + 1 < results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    // Quick mode writes to a scratch name so CI smoke runs can never
+    // clobber the committed full-mode trajectory artifact.
+    let path = if quick {
+        "BENCH_fig6.quick.json"
+    } else {
+        "BENCH_fig6.json"
+    };
+    std::fs::write(path, &out).unwrap_or_else(|error| panic!("failed to write {path}: {error}"));
+    print!("{out}");
+    eprintln!("wrote {path} ({} results)", results.len());
 }
 
 fn row(cells: &[String]) {

@@ -7,6 +7,9 @@
 //! * [`verification`] — generators for the Fig 7 workloads (streaming
 //!   unrolls, nested choice, ring, k-buffering) targeting the subtyping
 //!   algorithm, k-MC and SoundBinary,
+//! * [`scaling`] — executor-scaling workloads (token ring, all-to-all
+//!   mesh) behind `fig6 --json`, which tracks scheduler throughput per
+//!   protocol × thread count in `BENCH_fig6.json`,
 //! * [`table1`] — the expressiveness matrix of Table 1,
 //! * [`timing`] — a small wall-clock harness used by the `fig6`/`fig7`
 //!   binaries to print the same rows as Appendix C.
@@ -15,6 +18,7 @@
 //! `fig6`, `fig7` and `table1` binaries print the corresponding tables.
 
 pub mod protocols;
+pub mod scaling;
 pub mod table1;
 pub mod timing;
 pub mod verification;

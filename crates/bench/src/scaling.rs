@@ -1,0 +1,114 @@
+//! Scheduler-scaling workloads behind `fig6 --json`.
+//!
+//! Unlike the Fig 6 protocols (2–3 fixed roles), these two shapes scale
+//! the number of communicating tasks well past the worker count, so they
+//! exercise exactly what the lock-free scheduling core changed: LIFO-slot
+//! wake locality (ring) and injector/sibling batch stealing under fan-out
+//! (mesh).
+//!
+//! * **ring** — `tasks` tasks in a cycle forward a countdown token until
+//!   it has made `laps` full circuits: one message hop per op, the
+//!   pure message-passing-latency pattern of the paper's ping-pong.
+//! * **mesh** — `peers` tasks; each round every peer sends one message to
+//!   every other peer, then drains its inbox. All-to-all traffic with
+//!   `peers × (peers − 1)` messages per round.
+
+use executor::channel::{unbounded, Sender};
+use executor::Runtime;
+
+/// Runs the token ring; returns the number of message hops performed.
+pub fn run_ring(rt: &Runtime, tasks: usize, laps: usize) -> u64 {
+    assert!(tasks >= 2);
+    let hops = (tasks * laps) as u64;
+
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..tasks).map(|_| unbounded::<u64>()).unzip();
+    let handles: Vec<_> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut rx)| {
+            let tx = txs[(index + 1) % tasks].clone();
+            rt.spawn(async move {
+                let mut forwarded = 0u64;
+                while let Some(token) = rx.recv().await {
+                    // Forward until the token hits zero; the zero makes one
+                    // final lap to shut every task down.
+                    let _ = tx.send(token.saturating_sub(1));
+                    forwarded += 1;
+                    if token == 0 {
+                        break;
+                    }
+                }
+                forwarded
+            })
+        })
+        .collect();
+
+    txs[0].send(hops).unwrap();
+    drop(txs);
+
+    let mut total = 0;
+    for handle in handles {
+        total += rt.block_on(handle).unwrap();
+    }
+    // Every task forwards hops/tasks tokens plus the final zero lap.
+    total - tasks as u64
+}
+
+/// Runs the all-to-all mesh; returns the number of messages exchanged.
+pub fn run_mesh(rt: &Runtime, peers: usize, rounds: usize) -> u64 {
+    assert!(peers >= 2);
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..peers).map(|_| unbounded::<u64>()).unzip();
+    let txs: Vec<Sender<u64>> = txs;
+
+    let handles: Vec<_> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut rx)| {
+            let txs: Vec<Sender<u64>> = txs
+                .iter()
+                .enumerate()
+                .filter(|(peer, _)| *peer != index)
+                .map(|(_, tx)| tx.clone())
+                .collect();
+            rt.spawn(async move {
+                let mut received = 0u64;
+                for round in 0..rounds as u64 {
+                    for tx in &txs {
+                        tx.send(round).unwrap();
+                    }
+                    // Unbounded sends never block, so draining exactly one
+                    // round's worth of messages cannot deadlock even when
+                    // peers run rounds out of lock-step.
+                    for _ in 0..txs.len() {
+                        received += u64::from(rx.recv().await.is_some());
+                    }
+                }
+                received
+            })
+        })
+        .collect();
+    drop(txs);
+
+    let mut total = 0;
+    for handle in handles {
+        total += rt.block_on(handle).unwrap();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_counts_every_hop() {
+        let rt = Runtime::new(2);
+        assert_eq!(run_ring(&rt, 4, 10), 40);
+    }
+
+    #[test]
+    fn mesh_counts_every_message() {
+        let rt = Runtime::new(2);
+        assert_eq!(run_mesh(&rt, 5, 3), 5 * 4 * 3);
+    }
+}

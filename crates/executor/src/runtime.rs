@@ -2,67 +2,244 @@
 //!
 //! Architecture (a deliberately small cousin of Tokio's scheduler):
 //!
-//! * every worker thread owns a `crossbeam_deque::Worker` (local LIFO-ish
-//!   deque),
-//! * a global `Injector` receives tasks spawned from outside the pool and
-//!   overflow wakes,
-//! * idle workers first drain their local deque, then steal a batch from the
-//!   injector, then steal from siblings, and finally park on a condition
-//!   variable.
+//! * every worker thread owns a `crossbeam_deque::Worker` (local FIFO run
+//!   queue) plus a **LIFO slot** holding the most recently woken task, so a
+//!   wake performed *by* a worker (the ping-pong message-passing pattern)
+//!   is polled next on the same core without touching any shared queue,
+//! * a global lock-free `Injector` receives tasks scheduled from outside
+//!   the pool (spawns, cross-thread wakes),
+//! * idle workers first drain the LIFO slot and local deque, then
+//!   batch-steal from the injector, then batch-steal from a sibling
+//!   (random start index to spread contention), and finally park.
 //!
-//! Parking uses the standard "check queues under the sleep lock" protocol so
-//! that a push racing with a worker going to sleep can never be lost: the
-//! pusher bumps a generation counter and notifies *while holding the lock*
-//! whenever at least one worker is parked.
+//! Wake-ups are O(1) and lock-free: pushers consult a **searching-worker
+//! count** — if any worker is already hunting for work, no wake is needed
+//! at all — and otherwise claim one parked worker from an atomic bitmask
+//! and unpark exactly that thread (each worker has a private parker, so
+//! wake-ups of distinct workers never serialise on one mutex). The
+//! Dekker-style handshake is the classic one: a pusher publishes its task
+//! *before* reading the searching count/bitmask, a parking worker
+//! publishes its bitmask bit *before* re-checking the queues, with `SeqCst`
+//! fences supplying the store-load ordering on both sides, so at least one
+//! side always observes the other and no wake is lost.
 
+use std::cell::Cell;
 use std::future::Future;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle as ThreadHandle;
 use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex};
 
 use crate::join::{self, JoinHandle};
 use crate::park;
 use crate::task::Task;
 
+/// Upper bound on pool size: parked workers live in one `AtomicU64` bitmask.
+const MAX_WORKERS: usize = 64;
+
+/// Consecutive polls a worker may take from its LIFO slot before deferring
+/// to the FIFO deque, so a hot ping-pong pair cannot starve queued tasks.
+const LIFO_STREAK_LIMIT: u32 = 32;
+
+/// Belt-and-braces park timeout: with a correct handshake no wake is ever
+/// lost, but a bounded sleep keeps the pool live under any missed-wake bug
+/// without measurable idle cost.
+const PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// A per-worker parker: a three-state atomic plus the worker's thread
+/// handle. `unpark` is wait-free; `park` blocks on `std::thread::park`.
+struct Parker {
+    /// 0 = empty, 1 = parked, 2 = notified.
+    state: AtomicUsize,
+    /// Set once by the worker thread before it first registers as parked.
+    thread: OnceLock<std::thread::Thread>,
+}
+
+const PARKER_EMPTY: usize = 0;
+const PARKER_PARKED: usize = 1;
+const PARKER_NOTIFIED: usize = 2;
+
+impl Parker {
+    fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(PARKER_EMPTY),
+            thread: OnceLock::new(),
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses. Consumes at most one
+    /// notification; spurious returns are allowed (the caller re-checks).
+    fn park(&self, timeout: Duration) {
+        match self.state.compare_exchange(
+            PARKER_EMPTY,
+            PARKER_PARKED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {}
+            Err(_) => {
+                // A notification already arrived.
+                self.state.store(PARKER_EMPTY, Ordering::SeqCst);
+                return;
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline || self.state.load(Ordering::SeqCst) == PARKER_NOTIFIED {
+                break;
+            }
+            std::thread::park_timeout(deadline - now);
+        }
+        self.state.store(PARKER_EMPTY, Ordering::SeqCst);
+    }
+
+    /// Wakes the owning worker if it is (or is about to start) parking.
+    fn unpark(&self) {
+        if self.state.swap(PARKER_NOTIFIED, Ordering::SeqCst) == PARKER_PARKED {
+            if let Some(thread) = self.thread.get() {
+                thread.unpark();
+            }
+        }
+    }
+}
+
 /// State shared between all workers and every external handle.
 pub(crate) struct Shared {
     injector: Injector<Arc<Task>>,
     stealers: Vec<Stealer<Arc<Task>>>,
-    /// Number of workers currently parked; lets pushers skip the sleep lock
-    /// on the hot path when everyone is busy.
-    sleepers: AtomicUsize,
-    sleep_lock: Mutex<u64>,
-    sleep_cvar: Condvar,
+    parkers: Vec<Parker>,
+    /// Number of workers currently stealing (out of local work but not yet
+    /// parked). Pushers skip the wake entirely while this is non-zero: a
+    /// searcher is guaranteed to find the new task before it sleeps.
+    searching: AtomicUsize,
+    /// Bit `i` set ⇔ worker `i` is parked and may be claimed by a waker.
+    parked: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Enqueues a task and wakes a parked worker if there is one.
+    /// Enqueues a task from outside any worker and wakes a worker for it.
     pub(crate) fn push(&self, task: Arc<Task>) {
         self.injector.push(task);
-        self.notify_one();
+        self.notify();
     }
 
-    fn notify_one(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            // Taking the lock orders this notification after any concurrent
-            // queue-emptiness check performed by a worker about to park.
-            let mut generation = self.sleep_lock.lock();
-            *generation = generation.wrapping_add(1);
-            drop(generation);
-            self.sleep_cvar.notify_one();
+    /// Schedules a woken task. On a worker thread of this runtime the task
+    /// goes into the LIFO slot (displacing any occupant into the deque);
+    /// everywhere else it goes through the injector.
+    pub(crate) fn schedule(self: &Arc<Self>, task: Arc<Task>) {
+        let task = CONTEXT.with(|context| {
+            let context = context.get();
+            if context.is_null() {
+                return Some(task);
+            }
+            // Safety: the pointer is registered by `worker_loop` on this
+            // thread and cleared (via `ContextGuard`) before the context is
+            // dropped, so a non-null value is always live.
+            let context = unsafe { &*context };
+            if !ptr::eq(Arc::as_ptr(self), context.shared) {
+                // A worker of some *other* runtime: fall through.
+                return Some(task);
+            }
+            if let Some(displaced) = context.lifo.replace(Some(task)) {
+                context.deque.push(displaced);
+                // Surplus local work that siblings could pick up.
+                self.notify();
+            }
+            None
+        });
+        if let Some(task) = task {
+            self.push(task);
         }
     }
 
-    fn notify_all(&self) {
-        let mut generation = self.sleep_lock.lock();
-        *generation = generation.wrapping_add(1);
-        drop(generation);
-        self.sleep_cvar.notify_all();
+    /// Wakes one parked worker, unless a searcher already has it covered.
+    fn notify(&self) {
+        // Order the preceding queue push before the searching/parked reads
+        // (store-load: the Release queue publication alone is not enough).
+        fence(Ordering::SeqCst);
+        if self.searching.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        self.unpark_one();
+    }
+
+    /// Claims and wakes one parked worker; O(1), lock-free.
+    fn unpark_one(&self) {
+        let mut mask = self.parked.load(Ordering::SeqCst);
+        while mask != 0 {
+            let index = mask.trailing_zeros() as usize;
+            match self.parked.compare_exchange(
+                mask,
+                mask & !(1 << index),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    // The claimed worker wakes up *already searching*, so
+                    // concurrent pushes see `searching > 0` and skip their
+                    // own wakes instead of stampeding the remaining
+                    // sleepers.
+                    self.searching.fetch_add(1, Ordering::SeqCst);
+                    self.parkers[index].unpark();
+                    return;
+                }
+                Err(actual) => mask = actual,
+            }
+        }
+    }
+
+    /// True if any shared queue (injector or a sibling deque) has work.
+    fn work_available(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|stealer| !stealer.is_empty())
+    }
+
+    /// Removes this worker's parked bit. Returns false if a waker claimed
+    /// the bit first (and therefore incremented `searching` on our behalf).
+    fn unregister_parked(&self, index: usize) -> bool {
+        let bit = 1u64 << index;
+        let mut mask = self.parked.load(Ordering::SeqCst);
+        loop {
+            if mask & bit == 0 {
+                return false;
+            }
+            match self.parked.compare_exchange(
+                mask,
+                mask & !bit,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => mask = actual,
+            }
+        }
+    }
+}
+
+/// Thread-local state of a worker, reachable from wakers running on that
+/// worker's thread via [`CONTEXT`].
+struct WorkerContext {
+    /// Identifies the runtime this worker belongs to.
+    shared: *const Shared,
+    deque: Deque<Arc<Task>>,
+    /// The most recently woken task; polled next, ahead of the deque.
+    lifo: Cell<Option<Arc<Task>>>,
+}
+
+thread_local! {
+    static CONTEXT: Cell<*const WorkerContext> = const { Cell::new(ptr::null()) };
+}
+
+/// Clears the thread-local context pointer even on unwind.
+struct ContextGuard;
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|context| context.set(ptr::null()));
     }
 }
 
@@ -76,18 +253,18 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Creates a runtime with `threads` worker threads (at least one).
+    /// Creates a runtime with `threads` worker threads (clamped to 1..=64).
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
+        let threads = threads.clamp(1, MAX_WORKERS);
         let deques: Vec<_> = (0..threads).map(|_| Deque::new_fifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
 
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
-            sleepers: AtomicUsize::new(0),
-            sleep_lock: Mutex::new(0),
-            sleep_cvar: Condvar::new(),
+            parkers: (0..threads).map(|_| Parker::new()).collect(),
+            searching: AtomicUsize::new(0),
+            parked: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
 
@@ -127,7 +304,7 @@ impl Runtime {
             },
             self.shared.clone(),
         );
-        self.shared.push(task);
+        self.shared.schedule(task);
         handle
     }
 
@@ -141,48 +318,138 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.notify_all();
+        for parker in &self.shared.parkers {
+            parker.unpark();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-fn worker_loop(index: usize, local: Deque<Arc<Task>>, shared: Arc<Shared>) {
-    loop {
+/// Cheap per-worker xorshift RNG choosing steal victims.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
+    shared.parkers[index]
+        .thread
+        .set(std::thread::current())
+        .expect("worker thread registered twice");
+
+    let context = WorkerContext {
+        shared: Arc::as_ptr(&shared),
+        deque,
+        lifo: Cell::new(None),
+    };
+    CONTEXT.with(|slot| slot.set(&context as *const WorkerContext));
+    let _guard = ContextGuard;
+
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1));
+    let mut lifo_streak = 0u32;
+    let mut tick = 0u32;
+
+    'run: loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = find_task(index, &local, &shared) {
+        tick = tick.wrapping_add(1);
+
+        // Periodically service the injector first so local floods cannot
+        // starve externally spawned tasks.
+        if tick.is_multiple_of(61) {
+            if let Steal::Success(task) = shared.injector.steal_batch_and_pop(&context.deque) {
+                task.run();
+                continue;
+            }
+        }
+
+        // 1. LIFO slot: the task most recently woken from this thread.
+        if lifo_streak < LIFO_STREAK_LIMIT {
+            if let Some(task) = context.lifo.take() {
+                lifo_streak += 1;
+                task.run();
+                continue;
+            }
+        } else if let Some(task) = context.lifo.take() {
+            // Streak exhausted: demote the slot occupant to the deque and
+            // take fairness path below.
+            context.deque.push(task);
+        }
+        lifo_streak = 0;
+
+        // 2. Local FIFO deque.
+        if let Some(task) = context.deque.pop() {
             task.run();
             continue;
         }
 
-        // Park: re-check the queues under the sleep lock so a concurrent
-        // push (which bumps the generation under the same lock) is observed.
-        shared.sleepers.fetch_add(1, Ordering::SeqCst);
-        let mut generation = shared.sleep_lock.lock();
-        if shared.shutdown.load(Ordering::SeqCst) {
-            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-            return;
+        // 3. Out of local work: become a searcher and steal.
+        shared.searching.fetch_add(1, Ordering::SeqCst);
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.searching.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            if let Some(task) = steal_work(index, &context.deque, &shared, &mut rng) {
+                // Last searcher found work: if more remains, wake a sibling
+                // to keep draining it in parallel.
+                if shared.searching.fetch_sub(1, Ordering::SeqCst) == 1
+                    && (!context.deque.is_empty() || !shared.injector.is_empty())
+                {
+                    shared.unpark_one();
+                }
+                task.run();
+                continue 'run;
+            }
+
+            // 4. Nothing anywhere: stop searching and park. The *last*
+            // searcher re-checks the queues first — pushers skip wakes
+            // while `searching > 0`, so someone must cover a task pushed
+            // in that window.
+            if shared.searching.fetch_sub(1, Ordering::SeqCst) == 1 && shared.work_available() {
+                shared.searching.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+
+            shared.parked.fetch_or(1 << index, Ordering::SeqCst);
+            // Store-load: the bit must be visible before the emptiness
+            // re-check, mirroring the fence in `notify`.
+            fence(Ordering::SeqCst);
+            if shared.shutdown.load(Ordering::SeqCst) || shared.work_available() {
+                if shared.unregister_parked(index) {
+                    // We got our bit back: nobody woke us, resume searching
+                    // on our own account.
+                    shared.searching.fetch_add(1, Ordering::SeqCst);
+                } // else: a waker claimed us and already marked us searching.
+                continue;
+            }
+
+            shared.parkers[index].park(PARK_TIMEOUT);
+            if shared.unregister_parked(index) {
+                // Timed out (or spurious wake): nobody claimed the bit.
+                shared.searching.fetch_add(1, Ordering::SeqCst);
+            } // else: claimed by a waker, which incremented `searching`.
         }
-        if shared.injector.is_empty() {
-            // A bounded wait keeps the pool resilient to any missed wake-up
-            // without busy-spinning at idle.
-            shared
-                .sleep_cvar
-                .wait_for(&mut generation, Duration::from_millis(20));
-        }
-        drop(generation);
-        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// Work-finding order: local deque, then injector (batch), then siblings.
-fn find_task(index: usize, local: &Deque<Arc<Task>>, shared: &Shared) -> Option<Arc<Task>> {
-    if let Some(task) = local.pop() {
-        return Some(task);
-    }
+/// Steal order: batch from the injector, then batch from a sibling chosen
+/// at a random starting index.
+fn steal_work(
+    index: usize,
+    local: &Deque<Arc<Task>>,
+    shared: &Shared,
+    rng: &mut Rng,
+) -> Option<Arc<Task>> {
     loop {
         match shared.injector.steal_batch_and_pop(local) {
             Steal::Success(task) => return Some(task),
@@ -190,12 +457,15 @@ fn find_task(index: usize, local: &Deque<Arc<Task>>, shared: &Shared) -> Option<
             Steal::Retry => {}
         }
     }
-    for (i, stealer) in shared.stealers.iter().enumerate() {
-        if i == index {
+    let siblings = shared.stealers.len();
+    let start = (rng.next() % siblings.max(1) as u64) as usize;
+    for offset in 0..siblings {
+        let victim = (start + offset) % siblings;
+        if victim == index {
             continue;
         }
         loop {
-            match stealer.steal() {
+            match shared.stealers[victim].steal_batch_and_pop(local) {
                 Steal::Success(task) => return Some(task),
                 Steal::Empty => break,
                 Steal::Retry => {}
@@ -279,5 +549,20 @@ mod tests {
         let handle = rt.spawn(async { 1u8 });
         assert_eq!(rt.block_on(handle).unwrap(), 1);
         drop(rt);
+    }
+
+    #[test]
+    fn two_runtimes_do_not_cross_schedule() {
+        // A task on runtime A waking a task on runtime B must route the
+        // wake through B's injector, not A's worker-local queues.
+        let rt_a = Runtime::new(1);
+        let rt_b = Runtime::new(1);
+        let (tx, mut rx) = crate::channel::unbounded::<u32>();
+        let consumer = rt_b.spawn(async move { rx.recv().await });
+        let producer = rt_a.spawn(async move {
+            tx.send(5).unwrap();
+        });
+        rt_a.block_on(producer).unwrap();
+        assert_eq!(rt_b.block_on(consumer).unwrap(), Some(5));
     }
 }

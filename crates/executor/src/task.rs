@@ -81,7 +81,7 @@ impl Task {
             {
                 Ok(_) => {
                     if next == SCHEDULED {
-                        self.shared.push(self.clone());
+                        self.shared.schedule(self.clone());
                     }
                     return;
                 }
@@ -136,7 +136,7 @@ impl Task {
             Ok(_) => {}
             Err(NOTIFIED) => {
                 self.state.store(SCHEDULED, Ordering::Release);
-                self.shared.push(self.clone());
+                self.shared.schedule(self.clone());
             }
             Err(other) => unreachable!("invalid post-poll task state {other}"),
         }

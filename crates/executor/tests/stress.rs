@@ -1,0 +1,172 @@
+//! Executor stress suite: spawn storms, ping-pong latency pairs, and a
+//! randomized steal-correctness test asserting exactly-once execution.
+//!
+//! CI runs this file under `--release` (see `.github/workflows/ci.yml`);
+//! the iteration counts scale down in debug builds so plain `cargo test`
+//! stays fast.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use executor::channel::unbounded;
+use executor::Runtime;
+
+/// Iterations for the randomized steal-correctness loop.
+#[cfg(debug_assertions)]
+const STEAL_ITERATIONS: u64 = 10;
+#[cfg(not(debug_assertions))]
+const STEAL_ITERATIONS: u64 = 100;
+
+#[cfg(debug_assertions)]
+const STORM_TASKS: u32 = 1_000;
+#[cfg(not(debug_assertions))]
+const STORM_TASKS: u32 = 10_000;
+
+/// A task flood from outside the pool: every task must run exactly once
+/// and every handle must resolve, at 1, 2 and 8 workers.
+#[test]
+fn spawn_storm() {
+    for workers in [1, 2, 8] {
+        let rt = Runtime::new(workers);
+        let counter = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..STORM_TASKS)
+            .map(|i| {
+                let counter = counter.clone();
+                rt.spawn(async move {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(rt.block_on(handle).unwrap(), i as u32);
+        }
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            STORM_TASKS,
+            "{workers} workers"
+        );
+    }
+}
+
+/// Message-passing latency pairs: concurrent ping-pong over channels, the
+/// pattern the LIFO slot accelerates. Checks no message is lost or
+/// duplicated under heavy wake traffic.
+#[test]
+fn ping_pong_pairs() {
+    const PAIRS: usize = 8;
+    const ROUNDS: u32 = 500;
+    for workers in [1, 2, 8] {
+        let rt = Runtime::new(workers);
+        let handles: Vec<_> = (0..PAIRS)
+            .flat_map(|_| {
+                let (ping_tx, mut ping_rx) = unbounded::<u32>();
+                let (pong_tx, mut pong_rx) = unbounded::<u32>();
+                let ponger = rt.spawn(async move {
+                    let mut last = 0u64;
+                    while let Some(v) = ping_rx.recv().await {
+                        last = u64::from(v);
+                        if pong_tx.send(v).is_err() {
+                            break;
+                        }
+                    }
+                    last
+                });
+                let pinger = rt.spawn(async move {
+                    let mut sum = 0u64;
+                    for round in 1..=ROUNDS {
+                        ping_tx.send(round).unwrap();
+                        sum += u64::from(pong_rx.recv().await.unwrap());
+                    }
+                    drop(ping_tx);
+                    sum
+                });
+                [pinger, ponger]
+            })
+            .collect();
+        let expected_sum = u64::from(ROUNDS) * u64::from(ROUNDS + 1) / 2;
+        for (index, handle) in handles.into_iter().enumerate() {
+            let value = rt.block_on(handle).unwrap();
+            if index % 2 == 0 {
+                assert_eq!(value, expected_sum, "pinger {index}, {workers} workers");
+            } else {
+                assert_eq!(
+                    value,
+                    u64::from(ROUNDS),
+                    "ponger {index}, {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Splitmix-style deterministic RNG so failures reproduce.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Randomized steal-correctness: a storm of tasks with random yield
+/// patterns and random cross-task wakes across 1/2/8 workers; every task
+/// must execute exactly once (its flag ends at exactly 1) and every
+/// message must arrive. Runs [`STEAL_ITERATIONS`] consecutive iterations
+/// (100 in release) so steal interleavings vary.
+#[test]
+fn randomized_steal_exactly_once() {
+    const TASKS: usize = 256;
+    for iteration in 0..STEAL_ITERATIONS {
+        let workers = [1, 2, 8][iteration as usize % 3];
+        let rt = Runtime::new(workers);
+        let flags = Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+
+        // Random pairing: even-indexed tasks message their odd partner a
+        // random number of times, forcing waker-driven reschedules that
+        // land in the LIFO slot, the local deque or the injector depending
+        // on which thread the send happens on.
+        let handles: Vec<_> = (0..TASKS / 2)
+            .flat_map(|pair| {
+                let (tx, mut rx) = unbounded::<u64>();
+                let mut seed = iteration.wrapping_mul(0x1009) ^ pair as u64;
+                let messages = next_rand(&mut seed) % 8;
+                let yields = next_rand(&mut seed) % 4;
+                let sender_flags = flags.clone();
+                let receiver_flags = flags.clone();
+                let sender = rt.spawn(async move {
+                    for _ in 0..yields {
+                        executor::yield_now().await;
+                    }
+                    for message in 0..messages {
+                        tx.send(message).unwrap();
+                        executor::yield_now().await;
+                    }
+                    sender_flags[2 * pair].fetch_add(1, Ordering::Relaxed);
+                    drop(tx);
+                });
+                let receiver = rt.spawn(async move {
+                    let mut received = 0;
+                    while rx.recv().await.is_some() {
+                        received += 1;
+                    }
+                    assert_eq!(received, messages);
+                    receiver_flags[2 * pair + 1].fetch_add(1, Ordering::Relaxed);
+                });
+                [sender, receiver]
+            })
+            .collect();
+
+        for handle in handles {
+            rt.block_on(handle).unwrap();
+        }
+        for (task, flag) in flags.iter().enumerate() {
+            assert_eq!(
+                flag.load(Ordering::Relaxed),
+                1,
+                "task {task} ran a wrong number of times \
+                 (iteration {iteration}, {workers} workers)"
+            );
+        }
+    }
+}

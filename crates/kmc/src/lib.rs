@@ -19,7 +19,7 @@
 //! graph, which grows exponentially with the number of participants and
 //! with `k` — exactly the scaling the paper demonstrates in Fig 7.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
 use theory::fsm::{Direction, Fsm, StateIndex};
@@ -104,7 +104,7 @@ pub struct Config {
     /// Current state of each machine, indexed like `System::machines`.
     pub states: Vec<StateIndex>,
     /// FIFO contents of channel `from → to` at `from * n + to`.
-    pub channels: Vec<Vec<Name>>,
+    pub channels: Vec<VecDeque<Name>>,
 }
 
 /// A violation of k-multiparty compatibility.
@@ -163,13 +163,13 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
     let machine_count = system.machines.len();
     let initial = Config {
         states: system.machines.iter().map(|m| m.initial()).collect(),
-        channels: vec![Vec::new(); machine_count * machine_count],
+        channels: vec![VecDeque::new(); machine_count * machine_count],
     };
 
-    let mut seen: HashMap<Config, ()> = HashMap::new();
+    let mut seen: HashSet<Config> = HashSet::new();
     let mut queue = VecDeque::new();
-    seen.insert(initial.clone(), ());
-    queue.push_back(initial);
+    queue.push_back(initial.clone());
+    seen.insert(initial);
 
     let mut transitions = 0usize;
     let mut exhaustive = true;
@@ -190,28 +190,28 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
                         }
                         let mut next = config.clone();
                         next.states[index] = *target;
-                        next.channels[channel].push(action.label.clone());
+                        next.channels[channel].push_back(action.label.clone());
                         enabled_any = true;
                         transitions += 1;
-                        if !seen.contains_key(&next) {
-                            seen.insert(next.clone(), ());
-                            queue.push_back(next);
+                        if !seen.contains(&next) {
+                            queue.push_back(next.clone());
+                            seen.insert(next);
                         }
                     }
                     Direction::Receive => {
                         let peer = system.role_index(&action.peer);
                         let channel = system.channel_index(peer, index);
-                        if config.channels[channel].first() != Some(&action.label) {
+                        if config.channels[channel].front() != Some(&action.label) {
                             continue;
                         }
                         let mut next = config.clone();
                         next.states[index] = *target;
-                        next.channels[channel].remove(0);
+                        next.channels[channel].pop_front();
                         enabled_any = true;
                         transitions += 1;
-                        if !seen.contains_key(&next) {
-                            seen.insert(next.clone(), ());
-                            queue.push_back(next);
+                        if !seen.contains(&next) {
+                            queue.push_back(next.clone());
+                            seen.insert(next);
                         }
                     }
                 }
@@ -234,7 +234,7 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
             for (action, _) in &receives {
                 let peer = system.role_index(&action.peer);
                 let channel = system.channel_index(peer, index);
-                if let Some(found) = config.channels[channel].first().cloned() {
+                if let Some(found) = config.channels[channel].front().cloned() {
                     let expected = receives
                         .iter()
                         .any(|(a, _)| a.peer == action.peer && a.label == found);

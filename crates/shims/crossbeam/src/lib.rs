@@ -2,10 +2,12 @@
 //! container has no crates.io access). Provides the two modules this
 //! workspace uses:
 //!
-//! * [`deque`] — `Worker`/`Stealer`/`Injector`/`Steal`, backed by mutexed
-//!   `VecDeque`s rather than lock-free Chase–Lev deques. Semantics match;
-//!   raw throughput under heavy contention is of course lower than the
-//!   real crate's, which only affects benchmark absolute numbers.
+//! * [`deque`] — `Worker`/`Stealer`/`Injector`/`Steal`, implemented as a
+//!   real lock-free Chase–Lev deque (growable ring buffer, CAS-validated
+//!   steals, epoch-free retired-buffer reclamation) plus a Treiber-chain
+//!   injector with batch takeover. No mutex anywhere on the
+//!   push/pop/steal path; see the module docs for the memory-ordering
+//!   argument.
 //! * [`channel`] — blocking MPMC `bounded` channels. Capacity 0 is a
 //!   true rendezvous: `send` returns only once a receiver has consumed
 //!   the message, matching the synchronous semantics the Sesh- and
