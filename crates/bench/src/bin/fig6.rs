@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig6 [streaming|double-buffering|fft]
-//! cargo run --release -p bench --bin fig6 -- --json [--quick]
+//! cargo run --release -p bench --bin fig6 -- --json [--quick] [--out PATH]
 //! ```
 //!
 //! The default mode prints one row per parameter value with the
@@ -10,10 +10,15 @@
 //! paper's raw data tables.
 //!
 //! `--json` instead sweeps the Rumpsteak implementations (plus the ring
-//! and mesh scheduler-scaling workloads) across worker-thread counts and
-//! writes `BENCH_fig6.json` (protocol × threads × ns/op) to the current
-//! directory — the repo's perf-trajectory artifact. `--quick` shrinks
-//! workload sizes and time budgets for CI smoke runs.
+//! and mesh scheduler-scaling workloads, hand-wired and
+//! template-generated) across worker-thread counts and writes
+//! `BENCH_fig6.json` (protocol × threads × ns/op) — the repo's
+//! perf-trajectory artifact. `--quick` keeps the same workload sizes but
+//! shrinks the measurement budget and run count, so its per-op numbers
+//! stay comparable with the committed full-mode artifact (which the CI
+//! bench gate diffs against); so that smoke runs can never dirty the
+//! working tree, it defaults its output to the system temp directory.
+//! `--out PATH` routes the artifact anywhere explicitly.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -31,16 +36,25 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 fn main() {
     let mut json = false;
     let mut quick = false;
+    let mut out: Option<String> = None;
     let mut which: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
             "streaming" | "double-buffering" | "fft" | "all" => which = Some(arg),
             other => {
                 eprintln!(
-                    "unknown argument `{other}`; \
-                     expected streaming|double-buffering|fft|all, --json, --quick"
+                    "unknown argument `{other}`; expected \
+                     streaming|double-buffering|fft|all, --json, --quick, --out PATH"
                 );
                 std::process::exit(2);
             }
@@ -50,13 +64,13 @@ fn main() {
         eprintln!("--json always sweeps every protocol; drop the table name");
         std::process::exit(2);
     }
-    if quick && !json {
-        eprintln!("--quick only applies to --json mode");
+    if (quick || out.is_some()) && !json {
+        eprintln!("--quick and --out only apply to --json mode");
         std::process::exit(2);
     }
 
     if json {
-        emit_json(quick);
+        emit_json(quick, out);
         return;
     }
     let which = which.unwrap_or_else(|| "all".into());
@@ -84,7 +98,7 @@ struct JsonResult {
     ns_per_op: f64,
 }
 
-fn emit_json(quick: bool) {
+fn emit_json(quick: bool, out_path: Option<String>) {
     let budget = if quick {
         Duration::from_millis(40)
     } else {
@@ -92,12 +106,18 @@ fn emit_json(quick: bool) {
     };
     let max_runs = if quick { 5 } else { MAX_RUNS };
     // Workload sizes: (ring tasks, ring laps, mesh peers, mesh rounds,
-    // streaming n, double-buffering n, fft columns).
-    let (ring_tasks, ring_laps, mesh_peers, mesh_rounds, stream_n, buffer_n, fft_n) = if quick {
-        (16, 20, 6, 10, 20, 1000, 200)
-    } else {
-        (64, 100, 12, 50, 50, 10000, 1000)
-    };
+    // streaming n, double-buffering n, fft columns). Quick mode keeps the
+    // *same* sizes and only shrinks the time budget and run count: per-op
+    // costs depend on workload shape, so shrinking sizes would make quick
+    // runs incomparable with the committed full-mode baseline the CI
+    // bench gate diffs against (a single run of every workload is well
+    // under a millisecond, so identical sizes cost quick mode nothing).
+    let (ring_tasks, ring_laps, mesh_peers, mesh_rounds, stream_n, buffer_n, fft_n) =
+        (64, 100, 12, 50, 50, 10000, 1000);
+    // Template-generated topologies (pring.scr / pmesh.scr), instantiated
+    // once per sweep: the projection cost is setup, not measured time.
+    let gen_ring = scaling::generated::GeneratedRing::new(ring_tasks);
+    let gen_mesh = scaling::generated::GeneratedMesh::new(mesh_peers);
 
     let mut results = Vec::new();
     for threads in THREADS {
@@ -127,6 +147,22 @@ fn emit_json(quick: bool) {
             (mesh_peers * (mesh_peers - 1) * mesh_rounds) as u64,
             &mut || {
                 scaling::run_mesh(&rt, mesh_peers, mesh_rounds);
+            },
+        );
+        bench(
+            "gen_ring",
+            format!("\"tasks\": {ring_tasks}, \"laps\": {ring_laps}"),
+            (ring_tasks * ring_laps) as u64,
+            &mut || {
+                gen_ring.run(&rt, ring_laps);
+            },
+        );
+        bench(
+            "gen_mesh",
+            format!("\"peers\": {mesh_peers}, \"rounds\": {mesh_rounds}"),
+            gen_mesh.messages_per_round() * mesh_rounds as u64,
+            &mut || {
+                gen_mesh.run(&rt, mesh_rounds);
             },
         );
         bench(
@@ -179,16 +215,18 @@ fn emit_json(quick: bool) {
     }
     out.push_str("  ]\n}\n");
 
-    // Quick mode writes to a scratch name so CI smoke runs can never
-    // clobber the committed full-mode trajectory artifact.
-    let path = if quick {
-        "BENCH_fig6.quick.json"
-    } else {
-        "BENCH_fig6.json"
+    // Quick mode defaults to the system temp directory so CI smoke runs
+    // can neither clobber the committed full-mode trajectory artifact nor
+    // dirty the working tree; `--out` overrides either default.
+    let path = match out_path {
+        Some(path) => std::path::PathBuf::from(path),
+        None if quick => std::env::temp_dir().join("BENCH_fig6.quick.json"),
+        None => std::path::PathBuf::from("BENCH_fig6.json"),
     };
-    std::fs::write(path, &out).unwrap_or_else(|error| panic!("failed to write {path}: {error}"));
+    std::fs::write(&path, &out)
+        .unwrap_or_else(|error| panic!("failed to write {}: {error}", path.display()));
     print!("{out}");
-    eprintln!("wrote {path} ({} results)", results.len());
+    eprintln!("wrote {} ({} results)", path.display(), results.len());
 }
 
 fn row(cells: &[String]) {

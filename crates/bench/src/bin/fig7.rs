@@ -1,7 +1,8 @@
 //! Regenerates Fig 7 / Appendix C.2: verification running-time tables.
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig7 [streaming|nested-choice|ring|k-buffering]
+//! cargo run --release -p bench --bin fig7 \
+//!     [streaming|nested-choice|ring|k-buffering|pipeline]
 //! ```
 //!
 //! Each row reports seconds per check for SoundBinary, k-MC and
@@ -24,15 +25,18 @@ fn main() {
         "nested-choice" => table_nested_choice(),
         "ring" => table_ring(),
         "k-buffering" => table_k_buffering(),
+        "pipeline" => table_pipeline(),
         "all" => {
             table_streaming();
             table_nested_choice();
             table_ring();
             table_k_buffering();
+            table_pipeline();
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; expected streaming|nested-choice|ring|k-buffering|all"
+                "unknown table `{other}`; expected \
+                 streaming|nested-choice|ring|k-buffering|pipeline|all"
             );
             std::process::exit(2);
         }
@@ -120,6 +124,26 @@ fn table_ring() {
             None
         };
         let rumpsteak = Some(time_check(|| ring::check_rumpsteak(n)));
+        println!("{n}\t{}\t{}", fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}
+
+fn table_pipeline() {
+    println!("# k-buffering pipeline (generated from kbuffering.scr): seconds vs stages");
+    println!("n\tk-MC\tRumpsteak(per-stage)");
+    let mut kmc_enabled = true;
+    for n in 1..=10 {
+        let kmc = if kmc_enabled {
+            let t = time_check(|| k_buffering::check_kmc_pipeline(n));
+            if t > 1.0 {
+                kmc_enabled = false;
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let rumpsteak = Some(time_check(|| k_buffering::check_rumpsteak_pipeline(n)));
         println!("{n}\t{}\t{}", fmt(kmc), fmt(rumpsteak));
     }
     println!();

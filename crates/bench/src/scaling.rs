@@ -18,6 +18,23 @@ use executor::Runtime;
 
 /// Runs the token ring; returns the number of message hops performed.
 pub fn run_ring(rt: &Runtime, tasks: usize, laps: usize) -> u64 {
+    let next: Vec<usize> = (0..tasks).map(|index| (index + 1) % tasks).collect();
+    run_ring_over(rt, &next, laps)
+}
+
+/// Runs the all-to-all mesh; returns the number of messages exchanged.
+pub fn run_mesh(rt: &Runtime, peers: usize, rounds: usize) -> u64 {
+    let peers: Vec<Vec<usize>> = (0..peers)
+        .map(|index| (0..peers).filter(|&peer| peer != index).collect())
+        .collect();
+    run_mesh_over(rt, &peers, rounds)
+}
+
+/// The countdown-token loop over an arbitrary successor graph: `next[i]`
+/// is the task that task `i` forwards to. Shared by the hand-wired ring
+/// above and the template-generated one in [`generated`].
+fn run_ring_over(rt: &Runtime, next: &[usize], laps: usize) -> u64 {
+    let tasks = next.len();
     assert!(tasks >= 2);
     let hops = (tasks * laps) as u64;
 
@@ -26,7 +43,7 @@ pub fn run_ring(rt: &Runtime, tasks: usize, laps: usize) -> u64 {
         .into_iter()
         .enumerate()
         .map(|(index, mut rx)| {
-            let tx = txs[(index + 1) % tasks].clone();
+            let tx = txs[next[index]].clone();
             rt.spawn(async move {
                 let mut forwarded = 0u64;
                 while let Some(token) = rx.recv().await {
@@ -54,22 +71,21 @@ pub fn run_ring(rt: &Runtime, tasks: usize, laps: usize) -> u64 {
     total - tasks as u64
 }
 
-/// Runs the all-to-all mesh; returns the number of messages exchanged.
-pub fn run_mesh(rt: &Runtime, peers: usize, rounds: usize) -> u64 {
-    assert!(peers >= 2);
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..peers).map(|_| unbounded::<u64>()).unzip();
+/// The per-round exchange loop over arbitrary peer sets: each round task
+/// `i` sends one message to every member of `peers[i]`, then drains one
+/// inbound message per member. Shared by the hand-wired mesh above and
+/// the template-generated one in [`generated`].
+fn run_mesh_over(rt: &Runtime, peers: &[Vec<usize>], rounds: usize) -> u64 {
+    assert!(peers.len() >= 2);
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..peers.len()).map(|_| unbounded::<u64>()).unzip();
     let txs: Vec<Sender<u64>> = txs;
 
     let handles: Vec<_> = rxs
         .into_iter()
         .enumerate()
         .map(|(index, mut rx)| {
-            let txs: Vec<Sender<u64>> = txs
-                .iter()
-                .enumerate()
-                .filter(|(peer, _)| *peer != index)
-                .map(|(_, tx)| tx.clone())
-                .collect();
+            let txs: Vec<Sender<u64>> =
+                peers[index].iter().map(|&peer| txs[peer].clone()).collect();
             rt.spawn(async move {
                 let mut received = 0u64;
                 for round in 0..rounds as u64 {
@@ -96,6 +112,136 @@ pub fn run_mesh(rt: &Runtime, peers: usize, rounds: usize) -> u64 {
     total
 }
 
+/// Scaling workloads whose **topology is generated**: the communication
+/// graph is derived from an instantiation of the parameterised Scribble
+/// templates (`pring.scr`, `pmesh.scr`), so growing a benchmark mesh is a
+/// `--param n=K` regeneration rather than a rewrite. Construction
+/// instantiates the template, projects every `w[i]` and reads the channel
+/// structure off the projections; `run` then drives the same token /
+/// all-to-all traffic as [`run_ring`] / [`run_mesh`] over that graph.
+pub mod generated {
+    use theory::local::LocalType;
+    use theory::Name;
+
+    use super::*;
+
+    const PRING: &str = include_str!("../../codegen/tests/protocols/pring.scr");
+    const PMESH: &str = include_str!("../../codegen/tests/protocols/pmesh.scr");
+
+    fn instantiate(template: &str, n: usize) -> codegen::Analysis {
+        codegen::analyse_with(template, &[(Name::from("n"), n as i64)])
+            .expect("scaling template instantiates")
+    }
+
+    /// First `Select` peer in pre-order: the role this participant
+    /// forwards to.
+    fn first_send_peer(local: &LocalType) -> Option<Name> {
+        match local {
+            LocalType::End | LocalType::Var(_) => None,
+            LocalType::Rec { body, .. } => first_send_peer(body),
+            LocalType::Select { peer, .. } => Some(peer.clone()),
+            LocalType::Branch { branches, .. } => branches
+                .iter()
+                .find_map(|branch| first_send_peer(&branch.continuation)),
+        }
+    }
+
+    /// A token ring whose successor graph comes from `pring.scr`.
+    pub struct GeneratedRing {
+        /// `next[i]` is the participant `i` forwards the token to.
+        next: Vec<usize>,
+    }
+
+    impl GeneratedRing {
+        /// Instantiates the template with `n` participants and derives
+        /// each participant's successor from its projection.
+        pub fn new(n: usize) -> Self {
+            let analysis = instantiate(PRING, n);
+            let index: std::collections::HashMap<&Name, usize> = analysis
+                .protocol
+                .roles
+                .iter()
+                .enumerate()
+                .map(|(i, role)| (role, i))
+                .collect();
+            let next = analysis
+                .locals
+                .iter()
+                .map(|(role, local)| {
+                    let peer = first_send_peer(local)
+                        .unwrap_or_else(|| panic!("{role} never sends in pring.scr"));
+                    index[&peer]
+                })
+                .collect();
+            Self { next }
+        }
+
+        /// Number of participants.
+        pub fn len(&self) -> usize {
+            self.next.len()
+        }
+
+        /// True when the ring has no participants (never, by construction).
+        pub fn is_empty(&self) -> bool {
+            self.next.is_empty()
+        }
+
+        /// Forwards a countdown token `laps` times around the generated
+        /// ring; returns the number of message hops performed.
+        pub fn run(&self, rt: &Runtime, laps: usize) -> u64 {
+            super::run_ring_over(rt, &self.next, laps)
+        }
+    }
+
+    /// An all-to-all mesh whose peer sets come from `pmesh.scr`.
+    pub struct GeneratedMesh {
+        /// `peers[i]` are the participants role `i` exchanges with.
+        peers: Vec<Vec<usize>>,
+    }
+
+    impl GeneratedMesh {
+        /// Instantiates the template with `n` participants and derives
+        /// each participant's peer set from its projection.
+        pub fn new(n: usize) -> Self {
+            let analysis = instantiate(PMESH, n);
+            let index: std::collections::HashMap<&Name, usize> = analysis
+                .protocol
+                .roles
+                .iter()
+                .enumerate()
+                .map(|(i, role)| (role, i))
+                .collect();
+            let peers = analysis
+                .locals
+                .iter()
+                .map(|(_, local)| local.peers().iter().map(|peer| index[peer]).collect())
+                .collect();
+            Self { peers }
+        }
+
+        /// Number of participants.
+        pub fn len(&self) -> usize {
+            self.peers.len()
+        }
+
+        /// True when the mesh has no participants (never, by construction).
+        pub fn is_empty(&self) -> bool {
+            self.peers.is_empty()
+        }
+
+        /// Messages exchanged per round, summed over all participants.
+        pub fn messages_per_round(&self) -> u64 {
+            self.peers.iter().map(|peers| peers.len() as u64).sum()
+        }
+
+        /// Runs `rounds` all-to-all rounds over the generated peer sets;
+        /// returns the number of messages received.
+        pub fn run(&self, rt: &Runtime, rounds: usize) -> u64 {
+            super::run_mesh_over(rt, &self.peers, rounds)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +256,31 @@ mod tests {
     fn mesh_counts_every_message() {
         let rt = Runtime::new(2);
         assert_eq!(run_mesh(&rt, 5, 3), 5 * 4 * 3);
+    }
+
+    #[test]
+    fn generated_ring_matches_hand_wired_counts() {
+        let rt = Runtime::new(2);
+        let ring = generated::GeneratedRing::new(4);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.run(&rt, 10), run_ring(&rt, 4, 10));
+    }
+
+    #[test]
+    fn generated_mesh_matches_hand_wired_counts() {
+        let rt = Runtime::new(2);
+        let mesh = generated::GeneratedMesh::new(5);
+        assert_eq!(mesh.len(), 5);
+        assert_eq!(mesh.messages_per_round(), 5 * 4);
+        assert_eq!(mesh.run(&rt, 3), run_mesh(&rt, 5, 3));
+    }
+
+    #[test]
+    fn generated_mesh_scales_by_regeneration() {
+        // Growing the mesh is a parameter change, not a code change.
+        for n in [2, 3, 6] {
+            let mesh = generated::GeneratedMesh::new(n);
+            assert_eq!(mesh.messages_per_round(), (n * (n - 1)) as u64);
+        }
     }
 }

@@ -3,6 +3,16 @@
 //! Each family produces the candidate-subtype/supertype pair checked by
 //! Rumpsteak's algorithm and SoundBinary, and the FSM system checked by
 //! k-MC, for a given scale parameter `n`.
+//!
+//! The k-buffering and nested-choice families are **generated**: their
+//! base types come out of the codegen pipeline (Scribble parse →
+//! projection) rather than hand-built `LocalType` terms — k-buffering
+//! from the committed `double_buffering.scr` / parameterised
+//! `kbuffering.scr` templates, nested choice from Scribble sources nested
+//! to depth `n` by a template function. Only the *optimised* variants
+//! (the asynchronous-message-reordering the paper verifies against the
+//! projection) remain programmatic, because AMR output is precisely what
+//! projection does not produce.
 
 use theory::local::LocalType;
 use theory::name::Name;
@@ -12,40 +22,6 @@ use theory::{fsm, Fsm};
 /// Converts a local type to an FSM for the given role.
 pub fn to_fsm(role: &str, local: &LocalType) -> Fsm {
     fsm::from_local(&Name::from(role), local).expect("generated types are well-formed")
-}
-
-/// Syntactic dual of a *binary* local type: swaps sends and receives.
-pub fn dual(t: &LocalType) -> LocalType {
-    match t {
-        LocalType::End => LocalType::End,
-        LocalType::Var(v) => LocalType::Var(v.clone()),
-        LocalType::Rec { var, body } => LocalType::Rec {
-            var: var.clone(),
-            body: Box::new(dual(body)),
-        },
-        LocalType::Select { peer, branches } => LocalType::Branch {
-            peer: peer.clone(),
-            branches: branches
-                .iter()
-                .map(|b| theory::local::LocalBranch {
-                    label: b.label.clone(),
-                    sort: b.sort.clone(),
-                    continuation: dual(&b.continuation),
-                })
-                .collect(),
-        },
-        LocalType::Branch { peer, branches } => LocalType::Select {
-            peer: peer.clone(),
-            branches: branches
-                .iter()
-                .map(|b| theory::local::LocalBranch {
-                    label: b.label.clone(),
-                    sort: b.sort.clone(),
-                    continuation: dual(&b.continuation),
-                })
-                .collect(),
-        },
-    }
 }
 
 /// Fig 7 (left): the streaming protocol with `n` unrolled values.
@@ -124,80 +100,68 @@ pub mod streaming {
     }
 }
 
-/// Fig 7 (second): nested choice (Chen et al. [13, Fig 3]).
+/// Fig 7 (second): nested choice (Chen et al. [13, Fig 3]), generated
+/// from Scribble sources nested to depth `n`.
 pub mod nested_choice {
     use super::*;
 
-    /// `T_n`: the candidate subtype.
-    pub fn subtype(levels: usize) -> LocalType {
-        if levels == 0 {
-            return LocalType::End;
+    /// Scribble source of the global protocol whose projection onto `a`
+    /// is the candidate subtype `T_n`.
+    pub fn subtype_scribble(levels: usize) -> String {
+        fn body(levels: usize) -> String {
+            if levels == 0 {
+                return String::new();
+            }
+            let inner = body(levels - 1);
+            format!(
+                "choice at a {{ m() from a to p; choice at p \
+                 {{ r() from p to a; {inner} }} or {{ s() from p to a; {inner} }} \
+                 or {{ u() from p to a; {inner} }} }} \
+                 or {{ p() from a to p; choice at p \
+                 {{ r() from p to a; {inner} }} or {{ s() from p to a; {inner} }} }}"
+            )
         }
-        let t = subtype(levels - 1);
-        LocalType::select(
-            "p",
-            [
-                (
-                    "m".into(),
-                    Sort::Unit,
-                    LocalType::branch(
-                        "p",
-                        [
-                            ("r".into(), Sort::Unit, t.clone()),
-                            ("s".into(), Sort::Unit, t.clone()),
-                            ("u".into(), Sort::Unit, t.clone()),
-                        ],
-                    ),
-                ),
-                (
-                    "p".into(),
-                    Sort::Unit,
-                    LocalType::branch(
-                        "p",
-                        [
-                            ("r".into(), Sort::Unit, t.clone()),
-                            ("s".into(), Sort::Unit, t.clone()),
-                        ],
-                    ),
-                ),
-            ],
+        format!(
+            "global protocol NestedChoiceSub(role a, role p) {{ {} }}",
+            body(levels)
         )
     }
 
-    /// `T'_n`: the supertype.
-    pub fn supertype(levels: usize) -> LocalType {
-        if levels == 0 {
-            return LocalType::End;
+    /// Scribble source of the global protocol whose projection onto `a`
+    /// is the supertype `T'_n`.
+    pub fn supertype_scribble(levels: usize) -> String {
+        fn body(levels: usize) -> String {
+            if levels == 0 {
+                return String::new();
+            }
+            let inner = body(levels - 1);
+            format!(
+                "choice at p {{ r() from p to a; choice at a \
+                 {{ m() from a to p; {inner} }} or {{ p() from a to p; {inner} }} \
+                 or {{ q() from a to p; {inner} }} }} \
+                 or {{ s() from p to a; choice at a \
+                 {{ m() from a to p; {inner} }} or {{ p() from a to p; {inner} }} }}"
+            )
         }
-        let t = supertype(levels - 1);
-        LocalType::branch(
-            "p",
-            [
-                (
-                    "r".into(),
-                    Sort::Unit,
-                    LocalType::select(
-                        "p",
-                        [
-                            ("m".into(), Sort::Unit, t.clone()),
-                            ("p".into(), Sort::Unit, t.clone()),
-                            ("q".into(), Sort::Unit, t.clone()),
-                        ],
-                    ),
-                ),
-                (
-                    "s".into(),
-                    Sort::Unit,
-                    LocalType::select(
-                        "p",
-                        [
-                            ("m".into(), Sort::Unit, t.clone()),
-                            ("p".into(), Sort::Unit, t.clone()),
-                        ],
-                    ),
-                ),
-            ],
+        format!(
+            "global protocol NestedChoiceSup(role a, role p) {{ {} }}",
+            body(levels)
         )
+    }
+
+    fn analysis(source: &str) -> codegen::Analysis {
+        codegen::analyse(source).expect("generated nested-choice protocol analyses")
+    }
+
+    /// `T_n`: the candidate subtype (projection of the generated global
+    /// onto `a`).
+    pub fn subtype(levels: usize) -> LocalType {
+        analysis(&subtype_scribble(levels)).locals.remove(0).1
+    }
+
+    /// `T'_n`: the supertype (projection onto `a`).
+    pub fn supertype(levels: usize) -> LocalType {
+        analysis(&supertype_scribble(levels)).locals.remove(0).1
     }
 
     /// Rumpsteak check: `T_n ≤ T'_n`.
@@ -219,51 +183,13 @@ pub mod nested_choice {
         .expect("binary by construction")
     }
 
-    /// k-MC check of `T_n` against the dual of `T'_n`.
+    /// k-MC check of `T_n` against the communicating partner of `T'_n`
+    /// (the projection onto `p` of the supertype protocol, i.e. its dual).
     pub fn check_kmc(levels: usize) -> bool {
-        let sub = subtype(levels);
-        let partner = dual(&supertype(levels));
-        // Rename: sub talks to "p"; make the machines "a" and "p".
-        let system = kmc::System::new(vec![
-            to_fsm("a", &retarget(&sub, "p")),
-            to_fsm("p", &retarget(&partner, "a")),
-        ])
-        .expect("two distinct roles");
+        let a = analysis(&subtype_scribble(levels)).fsms.remove(0);
+        let p = analysis(&supertype_scribble(levels)).fsms.remove(1);
+        let system = kmc::System::new(vec![a, p]).expect("two distinct roles");
         kmc::check(&system, levels.max(1)).is_ok()
-    }
-
-    fn retarget(t: &LocalType, peer: &str) -> LocalType {
-        let peer = Name::from(peer);
-        match t {
-            LocalType::End => LocalType::End,
-            LocalType::Var(v) => LocalType::Var(v.clone()),
-            LocalType::Rec { var, body } => LocalType::Rec {
-                var: var.clone(),
-                body: Box::new(retarget(body, peer.as_str())),
-            },
-            LocalType::Select { branches, .. } => LocalType::Select {
-                peer: peer.clone(),
-                branches: branches
-                    .iter()
-                    .map(|b| theory::local::LocalBranch {
-                        label: b.label.clone(),
-                        sort: b.sort.clone(),
-                        continuation: retarget(&b.continuation, peer.as_str()),
-                    })
-                    .collect(),
-            },
-            LocalType::Branch { branches, .. } => LocalType::Branch {
-                peer: peer.clone(),
-                branches: branches
-                    .iter()
-                    .map(|b| theory::local::LocalBranch {
-                        label: b.label.clone(),
-                        sort: b.sort.clone(),
-                        continuation: retarget(&b.continuation, peer.as_str()),
-                    })
-                    .collect(),
-            },
-        }
     }
 }
 
@@ -341,16 +267,48 @@ pub mod ring {
 
 /// Fig 7 (right): k-buffering — double buffering generalised to `n`
 /// anticipated `ready`s (i.e. `n + 1` buffers).
+///
+/// The base types are generated: [`projected`](k_buffering::projected),
+/// [`source`](k_buffering::source) and [`sink`](k_buffering::sink) are
+/// the codegen pipeline's projections of the committed
+/// `double_buffering.scr`, and [`pipeline`](k_buffering::pipeline)
+/// instantiates the parameterised `kbuffering.scr` template
+/// (`role w[1..n]`) for the depth-scaling variant.
 pub mod k_buffering {
+    use std::sync::OnceLock;
+
     use super::*;
 
-    /// Projected kernel `Mk` (Fig 4a).
-    pub fn projected() -> LocalType {
-        theory::local::parse("rec x . s!ready . s?value . t?ready . t!value . x")
-            .expect("static type")
+    const SCRIBBLE: &str = include_str!("../../codegen/tests/protocols/double_buffering.scr");
+    const PIPELINE: &str = include_str!("../../codegen/tests/protocols/kbuffering.scr");
+
+    /// Projections of the double-buffering protocol, in role order
+    /// (s, k, t), produced once by the codegen pipeline.
+    fn locals() -> &'static [(Name, LocalType)] {
+        static LOCALS: OnceLock<Vec<(Name, LocalType)>> = OnceLock::new();
+        LOCALS.get_or_init(|| {
+            codegen::analyse(SCRIBBLE)
+                .expect("double_buffering.scr analyses")
+                .locals
+        })
     }
 
-    /// Optimised kernel with `n` anticipated readys (Fig 4b is `n = 1`).
+    fn local(role: &str) -> LocalType {
+        let role = Name::from(role);
+        locals()
+            .iter()
+            .find(|(name, _)| *name == role)
+            .map(|(_, local)| local.clone())
+            .expect("double buffering declares roles s, k, t")
+    }
+
+    /// Projected kernel `Mk` (Fig 4a): the generated projection onto `k`.
+    pub fn projected() -> LocalType {
+        local("k")
+    }
+
+    /// Optimised kernel with `n` anticipated readys (Fig 4b is `n = 1`) —
+    /// the AMR transformation applied on top of the generated projection.
     pub fn optimised(n: usize) -> LocalType {
         let mut t = projected();
         for _ in 0..n {
@@ -359,14 +317,14 @@ pub mod k_buffering {
         t
     }
 
-    /// The source and sink of the double-buffering protocol.
+    /// The source of the double-buffering protocol (projection onto `s`).
     pub fn source() -> LocalType {
-        theory::local::parse("rec x . k?ready . k!value . x").expect("static type")
+        local("s")
     }
 
-    /// Sink local type.
+    /// Sink local type (projection onto `t`).
     pub fn sink() -> LocalType {
-        theory::local::parse("rec x . k!ready . k?value . x").expect("static type")
+        local("t")
     }
 
     /// Rumpsteak check: optimised kernel ≤ projected kernel.
@@ -387,6 +345,40 @@ pub mod k_buffering {
         ])
         .expect("distinct roles");
         kmc::check(&system, n + 1).is_ok()
+    }
+
+    /// Instantiates the parameterised `kbuffering.scr` pipeline with
+    /// `stages` kernel stages and returns the full analysis (projections
+    /// and FSMs for s, w1..w`stages`, t).
+    pub fn pipeline(stages: usize) -> codegen::Analysis {
+        codegen::analyse_with(PIPELINE, &[(Name::from("n"), stages as i64)])
+            .expect("kbuffering.scr instantiates")
+    }
+
+    /// Rumpsteak-side verification of the `stages`-deep pipeline: one
+    /// *local* subtype check per participant — the per-role cost the
+    /// paper contrasts with whole-system k-MC. Each participant's
+    /// one-level loop unfolding is checked against its projection
+    /// (`T[μt.T/t] ≤ μt.T`): syntactically distinct FSMs whose
+    /// equivalence the subtyping algorithm must actually prove, so a
+    /// broken projection, FSM conversion or candidate-tree traversal
+    /// fails the check (unlike a reflexive `T ≤ T` pass).
+    pub fn check_rumpsteak_pipeline(stages: usize) -> bool {
+        let analysis = pipeline(stages);
+        analysis.locals.iter().all(|(role, local)| {
+            subtyping::is_subtype(
+                &to_fsm(role.as_str(), &local.unfold()),
+                &to_fsm(role.as_str(), local),
+                4,
+            )
+        })
+    }
+
+    /// Whole-system k-MC of the `stages`-deep pipeline.
+    pub fn check_kmc_pipeline(stages: usize) -> bool {
+        let analysis = pipeline(stages);
+        let system = kmc::System::new(analysis.fsms).expect("distinct roles");
+        kmc::check(&system, 2).is_ok()
     }
 }
 
@@ -429,9 +421,51 @@ mod tests {
     }
 
     #[test]
-    fn dual_is_involutive() {
-        let t = theory::local::parse("rec x . p?a . +{ p!b.x, p!c.end }").unwrap();
-        assert_eq!(dual(&dual(&t)), t);
+    fn k_buffering_base_types_match_fig4() {
+        // The generated projections must match the paper's hand-written
+        // Fig 4 kernels (up to recursion-variable naming, so compare FSMs).
+        let cases = [
+            (
+                k_buffering::projected(),
+                "rec x . s!ready . s?value . t?ready . t!value . x",
+            ),
+            (k_buffering::source(), "rec x . k?ready . k!value . x"),
+            (k_buffering::sink(), "rec x . k!ready . k?value . x"),
+        ];
+        for (generated, expected) in cases {
+            let expected = theory::local::parse(expected).unwrap();
+            assert_eq!(
+                to_fsm("k", &generated),
+                to_fsm("k", &expected),
+                "generated projection diverged from Fig 4"
+            );
+        }
+    }
+
+    #[test]
+    fn k_buffering_pipeline_scales() {
+        for stages in [1, 2, 4] {
+            assert!(
+                k_buffering::check_rumpsteak_pipeline(stages),
+                "rumpsteak stages={stages}"
+            );
+            assert!(
+                k_buffering::check_kmc_pipeline(stages),
+                "kmc stages={stages}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_choice_matches_hand_built_shape() {
+        // The generated T_1 must be the Chen et al. type the old
+        // hand-built constructor produced.
+        let subtype = nested_choice::subtype(1);
+        let expected = theory::local::parse(
+            "+{ p!m.&{ p?r.end, p?s.end, p?u.end }, p!p.&{ p?r.end, p?s.end } }",
+        )
+        .unwrap();
+        assert_eq!(to_fsm("a", &subtype), to_fsm("a", &expected));
     }
 
     #[test]

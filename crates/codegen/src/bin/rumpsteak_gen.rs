@@ -5,6 +5,8 @@
 //! ```text
 //! rumpsteak-gen protocol.scr                      # Rust module to stdout
 //! rumpsteak-gen protocol.scr --check --k 2        # verify before emitting
+//! rumpsteak-gen protocol.scr --param n=4          # instantiate `role w[1..n]`
+//! rumpsteak-gen protocol.scr --skeleton           # runnable program skeleton
 //! rumpsteak-gen protocol.scr --format dot         # Graphviz FSMs
 //! rumpsteak-gen protocol.scr --format fsm         # `role: local type` lines
 //! rumpsteak-gen - < protocol.scr -o generated.rs  # stdin → file
@@ -30,6 +32,13 @@ options:
                               dot   one Graphviz digraph per projected FSM
                               fsm   `role: local type` lines, the input
                                     format of the kmc and subtype tools
+    --param NAME=VALUE      bind one template parameter (repeatable);
+                            required for each parameter of a protocol
+                            declaring role families like `role w[1..n]`
+    --skeleton              with the rust format, emit a complete runnable
+                            program: the module plus one `async fn` per
+                            role driving its session through `try_session`
+                            and a `main` spawning every role
     --check                 verify the projected system before emitting:
                             k-MC (deadlocks, reception errors, orphans)
                             plus a reflexive subtyping sanity pass
@@ -47,6 +56,8 @@ struct Options {
     input: Option<String>,
     format: Format,
     check: bool,
+    skeleton: bool,
+    params: Vec<(theory::Name, i64)>,
     k: usize,
     output: Option<String>,
 }
@@ -56,6 +67,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         input: None,
         format: Format::Rust,
         check: false,
+        skeleton: false,
+        params: Vec::new(),
         k: 2,
         output: None,
     };
@@ -72,6 +85,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--check" => options.check = true,
+            "--skeleton" => options.skeleton = true,
+            "--param" => match iter.next().and_then(|v| v.split_once('=')) {
+                Some((name, value)) if !name.is_empty() => match value.parse() {
+                    Ok(value) => options.params.push((theory::Name::from(name), value)),
+                    Err(_) => {
+                        return Err(format!("--param {name}=...: `{value}` is not an integer"))
+                    }
+                },
+                _ => return Err("--param requires NAME=VALUE".into()),
+            },
             "--k" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(value) if value >= 1 => options.k = value,
                 _ => return Err("--k requires an integer >= 1".into()),
@@ -87,6 +110,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if options.input.is_none() => options.input = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if options.skeleton && !matches!(options.format, Format::Rust) {
+        return Err("--skeleton only applies to the rust format".into());
     }
     Ok(options)
 }
@@ -123,7 +149,7 @@ fn main() -> ExitCode {
         },
     };
 
-    let analysis = match codegen::analyse(&source) {
+    let analysis = match codegen::analyse_with(&source, &options.params) {
         Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("error: {e}");
@@ -152,13 +178,20 @@ fn main() -> ExitCode {
     }
 
     let rendered = match options.format {
-        Format::Rust => match codegen::rust_module(&analysis) {
-            Ok(module) => module,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+        Format::Rust => {
+            let result = if options.skeleton {
+                codegen::rust_program(&analysis)
+            } else {
+                codegen::rust_module(&analysis)
+            };
+            match result {
+                Ok(module) => module,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
         Format::Dot => codegen::dot_listing(&analysis),
         Format::Fsm => codegen::fsm_listing(&analysis),
     };

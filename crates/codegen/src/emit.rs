@@ -27,8 +27,36 @@ use theory::Name;
 use crate::naming::{pascal_case, snake_case};
 use crate::{Analysis, Error};
 
+/// The rendered module plus the name tables the skeleton emitter reuses.
+pub(crate) struct ModuleParts {
+    /// The complete module text (what [`rust_module`] returns).
+    pub(crate) text: String,
+    /// Labels with their sorts, in first-occurrence order.
+    pub(crate) labels: Vec<(Name, Sort)>,
+    /// Scribble label → Rust struct name.
+    pub(crate) label_types: BTreeMap<Name, String>,
+    /// Per-role naming, in role declaration order.
+    pub(crate) roles: Vec<RoleParts>,
+}
+
+/// Naming decisions for one role's session types.
+pub(crate) struct RoleParts {
+    /// Rust type name of the role struct.
+    pub(crate) role_ty: String,
+    /// Name of the `{Role}Session` entry alias.
+    pub(crate) entry_alias: String,
+    /// Choice enum names, in pre-order of multi-branch nodes of the
+    /// role's local type (the traversal order of `emit_type`).
+    pub(crate) choice_names: Vec<String>,
+}
+
 /// Emits the complete generated Rust module.
 pub fn rust_module(analysis: &Analysis) -> Result<String, Error> {
+    Ok(module_parts(analysis)?.text)
+}
+
+/// Builds the module text together with its naming tables.
+pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
     let protocol = &analysis.protocol;
 
     // ---- name tables -------------------------------------------------
@@ -74,6 +102,7 @@ pub fn rust_module(analysis: &Analysis) -> Result<String, Error> {
     let mut imports = Imports::default();
     let mut sessions: Vec<String> = Vec::new();
     let mut choices: Vec<ChoiceDecl> = Vec::new();
+    let mut role_parts: Vec<RoleParts> = Vec::new();
     for (role, local) in &analysis.locals {
         let role_ty = role_types[role].clone();
         let entry_alias = alloc(&mut used, &format!("{role_ty}Session"));
@@ -91,6 +120,11 @@ pub fn rust_module(analysis: &Analysis) -> Result<String, Error> {
         for (name, inner) in gen.structs {
             sessions.push(format!("    struct {name}<'q> for {role_ty} = {inner};"));
         }
+        role_parts.push(RoleParts {
+            role_ty: role_ty.clone(),
+            entry_alias,
+            choice_names: gen.choices.iter().map(|c| c.name.clone()).collect(),
+        });
         choices.extend(gen.choices);
     }
 
@@ -172,7 +206,12 @@ pub fn rust_module(analysis: &Analysis) -> Result<String, Error> {
         out.push_str("    }\n}\n");
     }
 
-    Ok(out)
+    Ok(ModuleParts {
+        text: out,
+        labels,
+        label_types,
+        roles: role_parts,
+    })
 }
 
 /// All labels with their sorts, in pre-order of first occurrence.

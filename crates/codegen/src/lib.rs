@@ -27,16 +27,18 @@
 pub mod naming;
 
 mod emit;
+mod skeleton;
 
 use std::fmt;
 
 use theory::fsm::{self, Fsm, FsmError};
 use theory::projection::{self, ProjectionError};
-use theory::scribble::{self, Protocol, ScribbleError};
+use theory::scribble::{self, Bindings, Protocol, ScribbleError};
 use theory::sort::Sort;
 use theory::{LocalType, Name};
 
 pub use emit::rust_module;
+pub use skeleton::rust_program;
 
 /// The protocol together with its per-role projections and FSMs.
 ///
@@ -119,8 +121,20 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {}
 
 /// Runs parse → project → FSM conversion on Scribble source.
+///
+/// Parameterised protocols (role families with non-literal bounds) need
+/// [`analyse_with`]; this entry point instantiates with no bindings.
 pub fn analyse(source: &str) -> Result<Analysis, Error> {
-    let protocol = scribble::parse(source).map_err(Error::Parse)?;
+    analyse_with(source, &[])
+}
+
+/// Like [`analyse`], but instantiates a parameterised protocol first:
+/// each `(name, value)` pair binds one template parameter (the CLI's
+/// `--param name=value`).
+pub fn analyse_with(source: &str, params: &[(Name, i64)]) -> Result<Analysis, Error> {
+    let template = scribble::parse_template(source).map_err(Error::Parse)?;
+    let bindings: Bindings = params.iter().cloned().collect();
+    let protocol = template.instantiate(&bindings).map_err(Error::Parse)?;
     let mut locals = Vec::with_capacity(protocol.roles.len());
     let mut fsms = Vec::with_capacity(protocol.roles.len());
     for role in &protocol.roles {

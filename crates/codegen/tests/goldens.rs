@@ -1,15 +1,26 @@
-//! Golden-file tests: the generated Rust for the paper's Streaming,
-//! Double-Buffering and Ring protocols is pinned byte-for-byte.
+//! Golden-file tests: the generated Rust for **every** protocol under
+//! `tests/protocols/` is pinned byte-for-byte — the corpus is discovered
+//! by globbing, so adding a protocol without a golden fails the suite.
+//!
+//! A protocol may carry a directive comment naming its generation flags
+//! (parameter bindings, skeleton emission):
+//!
+//! ```text
+//! // rumpsteak-gen: --param n=4 --skeleton
+//! ```
 //!
 //! To regenerate after an intentional emitter change:
 //!
 //! ```text
 //! cargo run -p codegen --bin rumpsteak-gen -- \
-//!     crates/codegen/tests/protocols/<p>.scr -o crates/codegen/tests/goldens/<p>.rs
+//!     crates/codegen/tests/protocols/<p>.scr <directive args> \
+//!     -o crates/codegen/tests/goldens/<p>.rs
 //! ```
 
 use std::path::PathBuf;
 use std::process::Command;
+
+use theory::Name;
 
 fn fixture(dir: &str, name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -18,33 +29,90 @@ fn fixture(dir: &str, name: &str) -> PathBuf {
         .join(name)
 }
 
-fn golden_matches(protocol: &str) {
-    let source = std::fs::read_to_string(fixture("protocols", &format!("{protocol}.scr")))
-        .expect("protocol fixture exists");
-    let expected = std::fs::read_to_string(fixture("goldens", &format!("{protocol}.rs")))
-        .expect("golden fixture exists");
-    let analysis = codegen::analyse(&source).expect("protocol analyses");
-    let module = codegen::rust_module(&analysis).expect("module generates");
-    assert_eq!(
-        module, expected,
-        "generated output for `{protocol}` diverged from the golden file; \
-         regenerate it if the change is intentional"
-    );
+/// Generation flags parsed from a `// rumpsteak-gen:` directive line.
+#[derive(Default)]
+struct Directive {
+    params: Vec<(Name, i64)>,
+    skeleton: bool,
+}
+
+fn directive(source: &str) -> Directive {
+    let mut directive = Directive::default();
+    let Some(line) = source
+        .lines()
+        .find_map(|l| l.strip_prefix("// rumpsteak-gen:"))
+    else {
+        return directive;
+    };
+    let mut words = line.split_whitespace();
+    while let Some(word) = words.next() {
+        match word {
+            "--skeleton" => directive.skeleton = true,
+            "--param" => {
+                let (name, value) = words
+                    .next()
+                    .and_then(|v| v.split_once('='))
+                    .expect("--param NAME=VALUE in directive");
+                directive
+                    .params
+                    .push((Name::from(name), value.parse().expect("integer parameter")));
+            }
+            other => panic!("unsupported directive flag `{other}`"),
+        }
+    }
+    directive
+}
+
+fn generate(source: &str) -> String {
+    let directive = directive(source);
+    let analysis = codegen::analyse_with(source, &directive.params).expect("protocol analyses");
+    if directive.skeleton {
+        codegen::rust_program(&analysis).expect("program generates")
+    } else {
+        codegen::rust_module(&analysis).expect("module generates")
+    }
 }
 
 #[test]
-fn streaming_golden() {
-    golden_matches("streaming");
-}
-
-#[test]
-fn double_buffering_golden() {
-    golden_matches("double_buffering");
-}
-
-#[test]
-fn ring_golden() {
-    golden_matches("ring");
+fn every_protocol_matches_its_golden() {
+    let protocols = fixture("protocols", "");
+    let mut checked = Vec::new();
+    for entry in std::fs::read_dir(&protocols).expect("protocols directory exists") {
+        let path = entry.expect("directory entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scr") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 protocol name")
+            .to_owned();
+        let source = std::fs::read_to_string(&path).expect("protocol fixture readable");
+        let expected = std::fs::read_to_string(fixture("goldens", &format!("{stem}.rs")))
+            .unwrap_or_else(|_| panic!("protocol `{stem}` has no golden file"));
+        assert_eq!(
+            generate(&source),
+            expected,
+            "generated output for `{stem}` diverged from the golden file; \
+             regenerate it if the change is intentional"
+        );
+        checked.push(stem);
+    }
+    checked.sort();
+    // The corpus never shrinks silently.
+    for required in [
+        "double_buffering",
+        "kbuffering",
+        "pmesh",
+        "pring",
+        "ring",
+        "streaming",
+    ] {
+        assert!(
+            checked.iter().any(|c| c == required),
+            "protocol corpus lost `{required}` (found {checked:?})"
+        );
+    }
 }
 
 #[test]
@@ -102,6 +170,38 @@ fn cli_dot_format_renders_digraphs() {
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert_eq!(stdout.matches("digraph").count(), 2);
+}
+
+#[test]
+fn cli_emits_the_kbuffering_skeleton_golden() {
+    let scr = fixture("protocols", "kbuffering.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--param", "n=4", "--skeleton"]);
+    assert!(output.status.success());
+    let expected =
+        std::fs::read_to_string(fixture("goldens", "kbuffering.rs")).expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), expected);
+}
+
+#[test]
+fn cli_reports_missing_param() {
+    let scr = fixture("protocols", "kbuffering.scr");
+    let output = run_cli(&[scr.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unbound parameter `n`"));
+}
+
+#[test]
+fn cli_rejects_malformed_param() {
+    let scr = fixture("protocols", "kbuffering.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--param", "n=lots"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn cli_rejects_skeleton_with_non_rust_format() {
+    let scr = fixture("protocols", "ring.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--skeleton", "--format", "dot"]);
+    assert_eq!(output.status.code(), Some(2));
 }
 
 #[test]

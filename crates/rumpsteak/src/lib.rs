@@ -5,10 +5,10 @@
 //!
 //! * [`role`] — the [`Role`]/[`Route`]/[`Message`] traits and the channel
 //!   [`Mesh`](role::Mesh) used to wire roles together,
-//! * [`session`] — the generic typestate primitives [`Send`], [`Receive`],
+//! * [`session`](mod@session) — the generic typestate primitives [`Send`], [`Receive`],
 //!   [`Select`], [`Branch`] and [`End`], plus [`try_session`] which
 //!   enforces linear channel usage through Rust's affine types,
-//! * [`serialize`] — the bottom-up workflow (§2.2): turning a session type
+//! * [`serialize`](mod@serialize) — the bottom-up workflow (§2.2): turning a session type
 //!   *as a Rust type* back into a [`theory::Fsm`] for k-MC or subtyping
 //!   verification,
 //! * declarative macros ([`roles!`], [`messages!`], [`session!`],

@@ -7,7 +7,7 @@
 //! verify a whole system, or to the `subtyping` crate against a projected
 //! FSM (the hybrid workflow, §2.3).
 //!
-//! Recursion points (the `struct`s of [`session!`](crate::session)) carry
+//! Recursion points (the `struct`s of [`session!`](macro@crate::session)) carry
 //! a unique `KEY`; the visited map ties back-edges to their states, just
 //! like `μt`-binders in local types.
 
@@ -21,7 +21,7 @@ use crate::session::{Branch, End, FromState, Receive, Select, Send};
 
 /// Type-level description of a session type's FSM structure.
 ///
-/// Implemented for all primitives; [`session!`](crate::session) generates
+/// Implemented for all primitives; [`session!`](macro@crate::session) generates
 /// impls for recursion points and [`choice!`](crate::choice) the
 /// [`ChoicesFsm`] companions.
 pub trait SessionFsm {

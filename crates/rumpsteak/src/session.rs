@@ -32,7 +32,7 @@ impl<'q, Q> State<'q, Q> {
 /// Construction of a session state from the role capability.
 ///
 /// Implemented by every primitive and by the types generated with
-/// [`session!`](crate::session) / [`choice!`](crate::choice).
+/// [`session!`](macro@crate::session) / [`choice!`](crate::choice).
 pub trait FromState<'q>: Sized {
     /// The role this session type belongs to.
     type Role;
@@ -308,7 +308,7 @@ impl<Q> End<'_, Q> {
 }
 
 /// Unwrapping of a named recursion point (generated by
-/// [`session!`](crate::session) for `struct` definitions) into its body,
+/// [`session!`](macro@crate::session) for `struct` definitions) into its body,
 /// used at loop back-edges:
 ///
 /// ```ignore

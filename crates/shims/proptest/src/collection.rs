@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use crate::{Strategy, TestRng};
 
-/// Length specification for [`vec`]: an exact size or a half-open range.
+/// Length specification for [`vec`](fn@vec): an exact size or a half-open range.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     start: usize,

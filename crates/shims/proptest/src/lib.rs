@@ -15,7 +15,7 @@
 //!   case number instead;
 //! * `prop_assert!` panics immediately rather than returning a `Result`.
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 use std::sync::Arc;
 
 pub mod collection;
@@ -318,6 +318,27 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(usize, u8, u16, u32, u64);
 
+/// Inclusive integer ranges (`lo..=hi`), mirroring the real crate.
+macro_rules! int_range_inclusive_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    // Span arithmetic in u128: `0..=u64::MAX` has 2^64
+                    // values, one more than u64 can hold.
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    self.start() + ((rng.next_u64() as u128 % span) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+int_range_inclusive_strategy!(usize, u8, u16, u32, u64);
+
 macro_rules! signed_range_strategy {
     ($($ty:ty),*) => {
         $(
@@ -437,6 +458,23 @@ mod tests {
             let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
             assert!((-2.0..2.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_both_endpoints() {
+        let mut rng = TestRng::from_name("inclusive");
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(2usize..=5), &mut rng);
+            assert!((2..=5).contains(&v));
+            lo_seen |= v == 2;
+            hi_seen |= v == 5;
+            // The full u64 domain must not overflow the span arithmetic.
+            let _ = Strategy::generate(&(0u64..=u64::MAX), &mut rng);
+            // A single-value range is the degenerate case.
+            assert_eq!(Strategy::generate(&(7u8..=7), &mut rng), 7);
+        }
+        assert!(lo_seen && hi_seen, "inclusive endpoints never generated");
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Parser for the Scribble subset used in the paper.
+//! Parser for the Scribble subset used in the paper, extended with
+//! **parameterised role families**.
 //!
-//! Supported syntax (Listing 1, Fig 3a):
+//! Supported syntax (Listing 1, Fig 3a, plus the `w[1..n]` extension):
 //!
 //! ```text
-//! global protocol Name(role a, role b, ...) {
-//!     label(sort?) from a to b;
+//! global protocol Name(role a, role w[1..n]) {
+//!     label(sort?) from a to w[1];
+//!     foreach i in 1..n-1 { hop() from w[i] to w[i+1]; }
 //!     rec loop { ...; continue loop; }
 //!     choice at a { ... } or { ... } or { ... }
 //! }
@@ -13,7 +15,22 @@
 //! Each `choice` branch must start with a message from the deciding role,
 //! and all branches must target the same receiver with distinct labels —
 //! the directed-choice discipline of Definition 1.
+//!
+//! A protocol whose header declares a role family (`role w[1..n]`) is a
+//! *template*: parsing yields a [`Template`], and [`Template::instantiate`]
+//! turns it into a concrete [`Protocol`] once every parameter (`n` above)
+//! is bound to an integer. Index expressions over parameters and `foreach`
+//! variables support literals, variables, `+` and `-`. `foreach` expands
+//! its body once per index value (inclusive bounds, empty when `lo > hi`)
+//! and may contain only message statements and nested `foreach`s, so the
+//! expansion is a straight-line splice.
+//!
+//! [`parse`] remains the one-call entry point for non-parameterised
+//! sources: it instantiates with no bindings, which succeeds whenever the
+//! protocol has no unbound parameters (literal-bound families like
+//! `role w[1..3]` are fine).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::str::FromStr;
 
@@ -26,7 +43,7 @@ use crate::sort::Sort;
 pub struct Protocol {
     /// Protocol name.
     pub name: Name,
-    /// Declared roles, in declaration order.
+    /// Declared roles, in declaration order (families expanded in place).
     pub roles: Vec<Name>,
     /// The protocol body as a global type.
     pub body: GlobalType,
@@ -37,10 +54,21 @@ pub struct Protocol {
 pub struct ScribbleError {
     /// Description of the failure.
     pub message: String,
-    /// 1-based line.
+    /// 1-based line (0 when the error has no source position, e.g. it
+    /// arose while instantiating a template).
     pub line: usize,
     /// 1-based column.
     pub column: usize,
+}
+
+impl ScribbleError {
+    fn unpositioned(message: impl Into<String>) -> Self {
+        ScribbleError {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
 }
 
 impl fmt::Display for ScribbleError {
@@ -51,6 +79,404 @@ impl fmt::Display for ScribbleError {
 
 impl std::error::Error for ScribbleError {}
 
+/// Integer bindings for template parameters, by parameter name.
+pub type Bindings = BTreeMap<Name, i64>;
+
+/// An integer expression over template parameters and `foreach` variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// A literal integer.
+    Lit(i64),
+    /// A parameter or `foreach` variable.
+    Var(Name),
+    /// Sum of two expressions.
+    Add(Box<IndexExpr>, Box<IndexExpr>),
+    /// Difference of two expressions.
+    Sub(Box<IndexExpr>, Box<IndexExpr>),
+}
+
+impl IndexExpr {
+    fn eval(&self, env: &Bindings) -> Result<i64, ScribbleError> {
+        match self {
+            IndexExpr::Lit(value) => Ok(*value),
+            IndexExpr::Var(var) => env
+                .get(var)
+                .copied()
+                .ok_or_else(|| ScribbleError::unpositioned(format!("unbound parameter `{var}`"))),
+            IndexExpr::Add(left, right) => Ok(left.eval(env)? + right.eval(env)?),
+            IndexExpr::Sub(left, right) => Ok(left.eval(env)? - right.eval(env)?),
+        }
+    }
+
+    fn free_vars(&self, out: &mut BTreeSet<Name>) {
+        match self {
+            IndexExpr::Lit(_) => {}
+            IndexExpr::Var(var) => {
+                out.insert(var.clone());
+            }
+            IndexExpr::Add(left, right) | IndexExpr::Sub(left, right) => {
+                left.free_vars(out);
+                right.free_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Lit(value) => write!(f, "{value}"),
+            IndexExpr::Var(var) => write!(f, "{var}"),
+            IndexExpr::Add(left, right) => write!(f, "{left}+{right}"),
+            IndexExpr::Sub(left, right) => write!(f, "{left}-{right}"),
+        }
+    }
+}
+
+/// One entry of a protocol's role list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoleDecl {
+    /// A plain role: `role a`.
+    Single(Name),
+    /// An indexed family: `role w[lo..hi]` (inclusive bounds).
+    Family {
+        /// Family name; instance `i` becomes the role `{name}{i}`.
+        name: Name,
+        /// Lower bound.
+        lo: IndexExpr,
+        /// Upper bound (inclusive).
+        hi: IndexExpr,
+    },
+}
+
+/// A reference to a role inside the protocol body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoleRef {
+    /// A plain role name.
+    Plain(Name),
+    /// A family member: `w[i+1]`.
+    Indexed {
+        /// The family being indexed.
+        family: Name,
+        /// The member index.
+        index: IndexExpr,
+    },
+}
+
+impl fmt::Display for RoleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleRef::Plain(name) => write!(f, "{name}"),
+            RoleRef::Indexed { family, index } => write!(f, "{family}[{index}]"),
+        }
+    }
+}
+
+/// Protocol body before instantiation: global-type syntax over role
+/// references, plus `foreach` splices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemplateType {
+    /// `end`.
+    End,
+    /// A single message `label(sort) from a to b; continuation`.
+    Comm {
+        /// Sender reference.
+        from: RoleRef,
+        /// Receiver reference.
+        to: RoleRef,
+        /// Message label.
+        label: Name,
+        /// Payload sort.
+        sort: Sort,
+        /// Rest of the block.
+        continuation: Box<TemplateType>,
+    },
+    /// `choice at r { ... } or { ... }`; each branch is a whole block that
+    /// must expand to a message from `at` once instantiated.
+    Choice {
+        /// The deciding role.
+        at: RoleRef,
+        /// Branch blocks, in source order.
+        branches: Vec<TemplateType>,
+    },
+    /// `rec var { body }`.
+    Rec {
+        /// Recursion variable.
+        var: Name,
+        /// Loop body.
+        body: Box<TemplateType>,
+    },
+    /// `continue var;`.
+    Var(Name),
+    /// `foreach var in lo..hi { body } continuation` — expands to
+    /// `body[var:=lo] ... body[var:=hi] continuation`.
+    Foreach {
+        /// The splice variable.
+        var: Name,
+        /// Lower bound.
+        lo: IndexExpr,
+        /// Upper bound (inclusive).
+        hi: IndexExpr,
+        /// The spliced block (messages and nested `foreach`s only).
+        body: Box<TemplateType>,
+        /// Rest of the enclosing block.
+        continuation: Box<TemplateType>,
+    },
+}
+
+/// A parsed, possibly parameterised `global protocol`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Template {
+    /// Protocol name.
+    pub name: Name,
+    /// Role declarations, in source order.
+    pub roles: Vec<RoleDecl>,
+    /// The protocol body.
+    pub body: TemplateType,
+}
+
+impl Template {
+    /// The template's parameters: every variable occurring free in a role
+    /// family bound. All of them must be bound for instantiation.
+    pub fn params(&self) -> BTreeSet<Name> {
+        let mut params = BTreeSet::new();
+        for decl in &self.roles {
+            if let RoleDecl::Family { lo, hi, .. } = decl {
+                lo.free_vars(&mut params);
+                hi.free_vars(&mut params);
+            }
+        }
+        params
+    }
+
+    /// True when the header declares at least one role family.
+    pub fn is_parameterised(&self) -> bool {
+        self.roles
+            .iter()
+            .any(|decl| matches!(decl, RoleDecl::Family { .. }))
+    }
+
+    /// Expands the template into a concrete [`Protocol`] under `bindings`.
+    ///
+    /// Every parameter must be bound and every binding must name a
+    /// parameter; each family must instantiate to at least one role; the
+    /// expanded body must satisfy the same well-formedness rules `parse`
+    /// enforces for plain protocols (directed choices, validation).
+    pub fn instantiate(&self, bindings: &Bindings) -> Result<Protocol, ScribbleError> {
+        let params = self.params();
+        for name in bindings.keys() {
+            if !params.contains(name) {
+                return Err(ScribbleError::unpositioned(format!(
+                    "unknown parameter `{name}` (protocol `{}` has {})",
+                    self.name,
+                    if params.is_empty() {
+                        "no parameters".to_owned()
+                    } else {
+                        format!(
+                            "parameters {}",
+                            params
+                                .iter()
+                                .map(Name::to_string)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    }
+                )));
+            }
+        }
+
+        // Expand the role list, recording each family's bounds.
+        let mut roles = Vec::new();
+        let mut families: BTreeMap<Name, (i64, i64)> = BTreeMap::new();
+        for decl in &self.roles {
+            match decl {
+                RoleDecl::Single(name) => roles.push(name.clone()),
+                RoleDecl::Family { name, lo, hi } => {
+                    let lo = lo.eval(bindings)?;
+                    let hi = hi.eval(bindings)?;
+                    if lo > hi {
+                        return Err(ScribbleError::unpositioned(format!(
+                            "role family {name}[{lo}..{hi}] is empty"
+                        )));
+                    }
+                    for i in lo..=hi {
+                        roles.push(Name::from(format!("{name}{i}")));
+                    }
+                    families.insert(name.clone(), (lo, hi));
+                }
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for role in &roles {
+            if !seen.insert(role.clone()) {
+                return Err(ScribbleError::unpositioned(format!(
+                    "role {role} declared twice after family expansion"
+                )));
+            }
+        }
+
+        let mut env = bindings.clone();
+        let body = expand(&self.body, &families, &mut env)?;
+        body.validate()
+            .map_err(|e| ScribbleError::unpositioned(e.to_string()))?;
+        Ok(Protocol {
+            name: self.name.clone(),
+            roles,
+            body,
+        })
+    }
+}
+
+/// Resolves a role reference to a concrete role name under `env`.
+fn resolve_ref(
+    role: &RoleRef,
+    families: &BTreeMap<Name, (i64, i64)>,
+    env: &Bindings,
+) -> Result<Name, ScribbleError> {
+    match role {
+        RoleRef::Plain(name) => Ok(name.clone()),
+        RoleRef::Indexed { family, index } => {
+            let (lo, hi) = families.get(family).ok_or_else(|| {
+                ScribbleError::unpositioned(format!("`{family}` is not a role family"))
+            })?;
+            let i = index.eval(env)?;
+            if i < *lo || i > *hi {
+                return Err(ScribbleError::unpositioned(format!(
+                    "index {family}[{index}] = {family}[{i}] is outside the \
+                     declared range [{lo}..{hi}]"
+                )));
+            }
+            Ok(Name::from(format!("{family}{i}")))
+        }
+    }
+}
+
+/// Expands a template body to a concrete global type under `env`.
+fn expand(
+    template: &TemplateType,
+    families: &BTreeMap<Name, (i64, i64)>,
+    env: &mut Bindings,
+) -> Result<GlobalType, ScribbleError> {
+    match template {
+        TemplateType::End => Ok(GlobalType::End),
+        TemplateType::Var(var) => Ok(GlobalType::Var(var.clone())),
+        TemplateType::Rec { var, body } => Ok(GlobalType::Rec {
+            var: var.clone(),
+            body: Box::new(expand(body, families, env)?),
+        }),
+        TemplateType::Comm {
+            from,
+            to,
+            label,
+            sort,
+            continuation,
+        } => {
+            let from = resolve_ref(from, families, env)?;
+            let to = resolve_ref(to, families, env)?;
+            let continuation = expand(continuation, families, env)?;
+            Ok(GlobalType::message(
+                from,
+                to,
+                label.clone(),
+                sort.clone(),
+                continuation,
+            ))
+        }
+        TemplateType::Choice { at, branches } => {
+            let chooser = resolve_ref(at, families, env)?;
+            let mut receiver: Option<Name> = None;
+            let mut global_branches = Vec::new();
+            for branch in branches {
+                let expanded = expand(branch, families, env)?;
+                let (label, sort, to, continuation) = split_choice_branch(&chooser, expanded)?;
+                match &receiver {
+                    None => receiver = Some(to.clone()),
+                    Some(existing) if *existing == to => {}
+                    Some(existing) => {
+                        return Err(ScribbleError::unpositioned(format!(
+                            "choice branches target different receivers {existing} and {to}"
+                        )))
+                    }
+                }
+                global_branches.push(GlobalBranch {
+                    label,
+                    sort,
+                    continuation,
+                });
+            }
+            Ok(GlobalType::Comm {
+                from: chooser,
+                to: receiver.expect("parser guarantees at least two branches"),
+                branches: global_branches,
+            })
+        }
+        TemplateType::Foreach {
+            var,
+            lo,
+            hi,
+            body,
+            continuation,
+        } => {
+            let lo = lo.eval(env)?;
+            let hi = hi.eval(env)?;
+            let mut acc = expand(continuation, families, env)?;
+            // Build back-to-front so each iteration's body is spliced in
+            // front of everything after it.
+            for i in (lo..=hi).rev() {
+                let shadowed = env.insert(var.clone(), i);
+                let iteration = expand(body, families, env);
+                match shadowed {
+                    Some(previous) => {
+                        env.insert(var.clone(), previous);
+                    }
+                    None => {
+                        env.remove(var);
+                    }
+                }
+                acc = splice(iteration?, acc);
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Grafts `rest` onto every `end` leaf of `body` (the sequencing of a
+/// `foreach` iteration with what follows it). The parser restricts
+/// `foreach` bodies to messages and nested `foreach`s, so every leaf is an
+/// `end` and the splice is a straight-line concatenation.
+fn splice(body: GlobalType, rest: GlobalType) -> GlobalType {
+    match body {
+        GlobalType::End => rest,
+        GlobalType::Comm { from, to, branches } => {
+            let mut branches = branches;
+            // Foreach bodies contain only message statements, each with
+            // exactly one branch; splice into its continuation.
+            for branch in branches.iter_mut() {
+                let continuation = std::mem::replace(&mut branch.continuation, GlobalType::End);
+                branch.continuation = splice(continuation, rest.clone());
+            }
+            GlobalType::Comm { from, to, branches }
+        }
+        other => other,
+    }
+}
+
+/// A choice branch must start `chooser → to : label`; returns the parts.
+fn split_choice_branch(
+    chooser: &Name,
+    branch: GlobalType,
+) -> Result<(Name, Sort, Name, GlobalType), ScribbleError> {
+    match branch {
+        GlobalType::Comm { from, to, branches } if &from == chooser && branches.len() == 1 => {
+            let branch = branches.into_iter().next().expect("len checked");
+            Ok((branch.label, branch.sort, to, branch.continuation))
+        }
+        other => Err(ScribbleError::unpositioned(format!(
+            "each choice branch must start with a message from {chooser}; found `{other}`"
+        ))),
+    }
+}
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Token {
     Ident(String),
@@ -58,8 +484,13 @@ enum Token {
     RParen,
     LBrace,
     RBrace,
+    LBracket,
+    RBracket,
     Semi,
     Comma,
+    DotDot,
+    Plus,
+    Minus,
 }
 
 #[derive(Clone, Debug)]
@@ -108,7 +539,26 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
                     column: token_column,
                 });
             }
-            '(' | ')' | '{' | '}' | ';' | ',' => {
+            '.' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    column += 1;
+                    tokens.push(Spanned {
+                        token: Token::DotDot,
+                        line: token_line,
+                        column: token_column,
+                    });
+                    continue;
+                }
+                return Err(ScribbleError {
+                    message: "unexpected `.` (ranges are written `lo..hi`)".into(),
+                    line: token_line,
+                    column: token_column,
+                });
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '+' | '-' => {
                 chars.next();
                 column += 1;
                 let token = match c {
@@ -116,7 +566,11 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
                     ')' => Token::RParen,
                     '{' => Token::LBrace,
                     '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
                     ';' => Token::Semi,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
                     _ => Token::Comma,
                 };
                 tokens.push(Spanned {
@@ -154,28 +608,43 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
     Ok(tokens)
 }
 
-/// Parses a Scribble `global protocol` into a [`Protocol`].
+/// Parses a Scribble `global protocol` into a concrete [`Protocol`].
+///
+/// Equivalent to [`parse_template`] followed by an instantiation with no
+/// bindings; fails if the protocol has unbound parameters.
 pub fn parse(source: &str) -> Result<Protocol, ScribbleError> {
+    let template = parse_template(source)?;
+    template.instantiate(&Bindings::new())
+}
+
+/// Parses a Scribble `global protocol` into a (possibly parameterised)
+/// [`Template`] without instantiating it.
+pub fn parse_template(source: &str) -> Result<Template, ScribbleError> {
     let tokens = lex(source)?;
     let mut parser = Parser {
         tokens: &tokens,
         position: 0,
+        singles: BTreeSet::new(),
+        families: BTreeSet::new(),
+        index_vars: Vec::new(),
     };
-    let protocol = parser.parse_protocol()?;
+    let template = parser.parse_protocol()?;
     if parser.position != parser.tokens.len() {
         return Err(parser.error("trailing tokens after protocol"));
     }
-    protocol.body.validate().map_err(|e| ScribbleError {
-        message: e.to_string(),
-        line: 0,
-        column: 0,
-    })?;
-    Ok(protocol)
+    Ok(template)
 }
 
 struct Parser<'a> {
     tokens: &'a [Spanned],
     position: usize,
+    /// Declared plain roles.
+    singles: BTreeSet<Name>,
+    /// Declared role families.
+    families: BTreeSet<Name>,
+    /// In-scope index variables: template parameters, then any enclosing
+    /// `foreach` variables.
+    index_vars: Vec<Name>,
 }
 
 impl Parser<'_> {
@@ -233,7 +702,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_protocol(&mut self) -> Result<Protocol, ScribbleError> {
+    fn parse_protocol(&mut self) -> Result<Template, ScribbleError> {
         self.keyword("global")?;
         self.keyword("protocol")?;
         let name = Name::from(self.ident("protocol name")?);
@@ -241,32 +710,146 @@ impl Parser<'_> {
         let mut roles = Vec::new();
         loop {
             self.keyword("role")?;
-            roles.push(Name::from(self.ident("role name")?));
+            let role = Name::from(self.ident("role name")?);
+            let decl = if self.peek() == Some(&Token::LBracket) {
+                self.position += 1;
+                let lo = self.parse_index_expr()?;
+                self.expect(&Token::DotDot, "`..` in role family range")?;
+                let hi = self.parse_index_expr()?;
+                self.expect(&Token::RBracket, "`]`")?;
+                self.families.insert(role.clone());
+                RoleDecl::Family { name: role, lo, hi }
+            } else {
+                self.singles.insert(role.clone());
+                RoleDecl::Single(role)
+            };
+            roles.push(decl);
             match self.next() {
                 Some(Token::Comma) => continue,
                 Some(Token::RParen) => break,
                 _ => return Err(self.error("expected `,` or `)` in role list")),
             }
         }
+        // Family-bound variables are the template's parameters; they are
+        // in scope throughout the body.
+        let mut params = BTreeSet::new();
+        for decl in &roles {
+            if let RoleDecl::Family { lo, hi, .. } = decl {
+                lo.free_vars(&mut params);
+                hi.free_vars(&mut params);
+            }
+        }
+        for param in &params {
+            if self.singles.contains(param) || self.families.contains(param) {
+                return Err(self.error(format!(
+                    "parameter `{param}` collides with a role of the same name"
+                )));
+            }
+        }
+        self.index_vars.extend(params);
         self.expect(&Token::LBrace, "`{`")?;
-        let body = self.parse_block(&roles)?;
+        let body = self.parse_block(false)?;
         self.expect(&Token::RBrace, "`}`")?;
-        Ok(Protocol { name, roles, body })
+        Ok(Template { name, roles, body })
     }
 
-    /// Parses a `;`-sequenced block into a right-nested global type.
-    fn parse_block(&mut self, roles: &[Name]) -> Result<GlobalType, ScribbleError> {
+    /// Parses `expr (+|-) expr ...`, left-associative.
+    fn parse_index_expr(&mut self) -> Result<IndexExpr, ScribbleError> {
+        let mut expr = self.parse_index_term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.position += 1;
+                    let right = self.parse_index_term()?;
+                    expr = IndexExpr::Add(Box::new(expr), Box::new(right));
+                }
+                Some(Token::Minus) => {
+                    self.position += 1;
+                    let right = self.parse_index_term()?;
+                    expr = IndexExpr::Sub(Box::new(expr), Box::new(right));
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    /// Every variable of `expr` must be a template parameter or an
+    /// enclosing `foreach` variable — otherwise the expression could
+    /// never be evaluated by any instantiation.
+    fn check_index_scope(&self, expr: &IndexExpr) -> Result<(), ScribbleError> {
+        let mut vars = BTreeSet::new();
+        expr.free_vars(&mut vars);
+        for var in vars {
+            if !self.index_vars.contains(&var) {
+                return Err(self.error(format!(
+                    "unknown index variable `{var}` (not a parameter or \
+                     enclosing `foreach` variable)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_index_term(&mut self) -> Result<IndexExpr, ScribbleError> {
+        let ident = self.ident("index expression")?;
+        if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return match ident.parse::<i64>() {
+                Ok(value) => Ok(IndexExpr::Lit(value)),
+                Err(_) => {
+                    self.position = self.position.saturating_sub(1);
+                    Err(self.error(format!("malformed integer literal `{ident}`")))
+                }
+            };
+        }
+        Ok(IndexExpr::Var(Name::from(ident)))
+    }
+
+    /// Parses a role reference: `a` or `w[expr]`, checking declarations
+    /// and index-variable scope.
+    fn parse_role_ref(&mut self) -> Result<RoleRef, ScribbleError> {
+        let name = Name::from(self.ident("role name")?);
+        if self.peek() == Some(&Token::LBracket) {
+            if !self.families.contains(&name) {
+                return Err(self.error(format!("`{name}` is not a role family")));
+            }
+            self.position += 1;
+            let index = self.parse_index_expr()?;
+            self.expect(&Token::RBracket, "`]`")?;
+            self.check_index_scope(&index)?;
+            return Ok(RoleRef::Indexed {
+                family: name,
+                index,
+            });
+        }
+        if self.families.contains(&name) {
+            return Err(self.error(format!("role family `{name}` must be indexed: `{name}[i]`")));
+        }
+        if !self.singles.contains(&name) {
+            return Err(self.error(format!("undeclared role {name}")));
+        }
+        Ok(RoleRef::Plain(name))
+    }
+
+    /// Parses a `;`-sequenced block into a right-nested template type.
+    /// Inside a `foreach` body (`in_foreach`), only message statements and
+    /// nested `foreach`s are allowed, so expansion stays a straight-line
+    /// splice.
+    fn parse_block(&mut self, in_foreach: bool) -> Result<TemplateType, ScribbleError> {
         match self.peek() {
-            None | Some(Token::RBrace) => Ok(GlobalType::End),
+            None | Some(Token::RBrace) => Ok(TemplateType::End),
             Some(Token::Ident(word)) => match word.as_str() {
+                "rec" | "continue" | "choice" if in_foreach => Err(self.error(format!(
+                    "`{word}` is not allowed inside a `foreach` body \
+                     (only messages and nested `foreach`s are)"
+                ))),
                 "rec" => {
                     self.position += 1;
                     let var = Name::from(self.ident("recursion label")?);
                     self.expect(&Token::LBrace, "`{`")?;
-                    let body = self.parse_block(roles)?;
+                    let body = self.parse_block(false)?;
                     self.expect(&Token::RBrace, "`}`")?;
                     self.ensure_block_end("rec")?;
-                    Ok(GlobalType::Rec {
+                    Ok(TemplateType::Rec {
                         var,
                         body: Box::new(body),
                     })
@@ -276,34 +859,17 @@ impl Parser<'_> {
                     let var = Name::from(self.ident("recursion label")?);
                     self.expect(&Token::Semi, "`;`")?;
                     self.ensure_block_end("continue")?;
-                    Ok(GlobalType::Var(var))
+                    Ok(TemplateType::Var(var))
                 }
                 "choice" => {
                     self.position += 1;
                     self.keyword("at")?;
-                    let chooser = Name::from(self.ident("role name")?);
+                    let at = self.parse_role_ref()?;
                     let mut branches = Vec::new();
-                    let mut receiver: Option<Name> = None;
                     loop {
                         self.expect(&Token::LBrace, "`{`")?;
-                        let branch = self.parse_block(roles)?;
+                        branches.push(self.parse_block(false)?);
                         self.expect(&Token::RBrace, "`}`")?;
-                        let (label, sort, to, continuation) =
-                            self.split_choice_branch(&chooser, branch)?;
-                        match &receiver {
-                            None => receiver = Some(to.clone()),
-                            Some(existing) if *existing == to => {}
-                            Some(existing) => {
-                                return Err(self.error(format!(
-                                    "choice branches target different receivers {existing} and {to}"
-                                )))
-                            }
-                        }
-                        branches.push(GlobalBranch {
-                            label,
-                            sort,
-                            continuation,
-                        });
                         if let Some(Token::Ident(word)) = self.peek() {
                             if word == "or" {
                                 self.position += 1;
@@ -316,10 +882,44 @@ impl Parser<'_> {
                         return Err(self.error("choice requires at least two branches"));
                     }
                     self.ensure_block_end("choice")?;
-                    Ok(GlobalType::Comm {
-                        from: chooser,
-                        to: receiver.expect("at least one branch"),
-                        branches,
+                    Ok(TemplateType::Choice { at, branches })
+                }
+                "foreach" => {
+                    self.position += 1;
+                    let var = Name::from(self.ident("foreach variable")?);
+                    if self.index_vars.contains(&var) {
+                        return Err(self.error(format!(
+                            "`foreach` variable `{var}` shadows a parameter or \
+                             enclosing `foreach` variable"
+                        )));
+                    }
+                    if self.singles.contains(&var) || self.families.contains(&var) {
+                        return Err(self.error(format!(
+                            "`foreach` variable `{var}` collides with a role name"
+                        )));
+                    }
+                    self.keyword("in")?;
+                    let lo = self.parse_index_expr()?;
+                    self.expect(&Token::DotDot, "`..` in foreach range")?;
+                    let hi = self.parse_index_expr()?;
+                    // Bounds may only use parameters and enclosing
+                    // `foreach` variables; anything else could never be
+                    // bound by any instantiation.
+                    self.check_index_scope(&lo)?;
+                    self.check_index_scope(&hi)?;
+                    self.expect(&Token::LBrace, "`{`")?;
+                    self.index_vars.push(var.clone());
+                    let body = self.parse_block(true);
+                    self.index_vars.pop();
+                    let body = body?;
+                    self.expect(&Token::RBrace, "`}`")?;
+                    let continuation = self.parse_block(in_foreach)?;
+                    Ok(TemplateType::Foreach {
+                        var,
+                        lo,
+                        hi,
+                        body: Box::new(body),
+                        continuation: Box::new(continuation),
                     })
                 }
                 _ => {
@@ -336,24 +936,17 @@ impl Parser<'_> {
                     };
                     self.expect(&Token::RParen, "`)`")?;
                     self.keyword("from")?;
-                    let from = Name::from(self.ident("role name")?);
+                    let from = self.parse_role_ref()?;
                     self.keyword("to")?;
-                    let to = Name::from(self.ident("role name")?);
+                    let to = self.parse_role_ref()?;
                     self.expect(&Token::Semi, "`;`")?;
-                    for role in [&from, &to] {
-                        if !roles.contains(role) {
-                            return Err(self.error(format!("undeclared role {role}")));
-                        }
-                    }
-                    let continuation = self.parse_block(roles)?;
-                    Ok(GlobalType::Comm {
+                    let continuation = self.parse_block(in_foreach)?;
+                    Ok(TemplateType::Comm {
                         from,
                         to,
-                        branches: vec![GlobalBranch {
-                            label,
-                            sort,
-                            continuation,
-                        }],
+                        label,
+                        sort,
+                        continuation: Box::new(continuation),
                     })
                 }
             },
@@ -368,23 +961,6 @@ impl Parser<'_> {
             None | Some(Token::RBrace) => Ok(()),
             _ => Err(self.error(format!(
                 "`{construct}` must be the final statement of its block"
-            ))),
-        }
-    }
-
-    /// A choice branch must start `chooser → to : label`; returns the parts.
-    fn split_choice_branch(
-        &self,
-        chooser: &Name,
-        branch: GlobalType,
-    ) -> Result<(Name, Sort, Name, GlobalType), ScribbleError> {
-        match branch {
-            GlobalType::Comm { from, to, branches } if &from == chooser && branches.len() == 1 => {
-                let branch = branches.into_iter().next().expect("len checked");
-                Ok((branch.label, branch.sort, to, branch.continuation))
-            }
-            other => Err(self.error(format!(
-                "each choice branch must start with a message from {chooser}; found `{other}`"
             ))),
         }
     }
@@ -510,5 +1086,279 @@ mod tests {
             protocol.body,
             GlobalType::message("a", "b", "v", Sort::I32, GlobalType::End)
         );
+    }
+
+    // ---- parameterised templates ------------------------------------
+
+    const PIPELINE: &str = r#"
+        global protocol Pipeline(role s, role w[1..n], role t) {
+            start() from s to w[1];
+            foreach i in 1..n-1 {
+                hop() from w[i] to w[i+1];
+            }
+            done() from w[n] to t;
+        }
+    "#;
+
+    fn bind(pairs: &[(&str, i64)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(name, value)| (Name::from(*name), *value))
+            .collect()
+    }
+
+    #[test]
+    fn template_reports_params() {
+        let template = parse_template(PIPELINE).unwrap();
+        assert!(template.is_parameterised());
+        assert_eq!(
+            template.params().into_iter().collect::<Vec<_>>(),
+            vec![Name::from("n")]
+        );
+    }
+
+    #[test]
+    fn pipeline_instantiates_and_splices() {
+        let template = parse_template(PIPELINE).unwrap();
+        let protocol = template.instantiate(&bind(&[("n", 3)])).unwrap();
+        assert_eq!(
+            protocol.roles,
+            ["s", "w1", "w2", "w3", "t"].map(Name::from).to_vec()
+        );
+        assert_eq!(
+            protocol.body,
+            GlobalType::message(
+                "s",
+                "w1",
+                "start",
+                Sort::Unit,
+                GlobalType::message(
+                    "w1",
+                    "w2",
+                    "hop",
+                    Sort::Unit,
+                    GlobalType::message(
+                        "w2",
+                        "w3",
+                        "hop",
+                        Sort::Unit,
+                        GlobalType::message("w3", "t", "done", Sort::Unit, GlobalType::End),
+                    ),
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn empty_foreach_expands_to_nothing() {
+        let template = parse_template(PIPELINE).unwrap();
+        // n = 1: the foreach range 1..0 is empty.
+        let protocol = template.instantiate(&bind(&[("n", 1)])).unwrap();
+        assert_eq!(
+            protocol.body,
+            GlobalType::message(
+                "s",
+                "w1",
+                "start",
+                Sort::Unit,
+                GlobalType::message("w1", "t", "done", Sort::Unit, GlobalType::End),
+            )
+        );
+    }
+
+    #[test]
+    fn literal_family_bounds_need_no_bindings() {
+        let source = r#"
+            global protocol P(role w[1..2]) {
+                ping() from w[1] to w[2];
+            }
+        "#;
+        let protocol = parse(source).unwrap();
+        assert_eq!(protocol.roles, ["w1", "w2"].map(Name::from).to_vec());
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let template = parse_template(PIPELINE).unwrap();
+        let err = template.instantiate(&Bindings::new()).unwrap_err();
+        assert!(err.message.contains("unbound parameter `n`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_binding_is_an_error() {
+        let template = parse_template(PIPELINE).unwrap();
+        let err = template
+            .instantiate(&bind(&[("n", 2), ("m", 1)]))
+            .unwrap_err();
+        assert!(err.message.contains("unknown parameter `m`"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                hi() from a to w[n+1];
+            }
+        "#;
+        let template = parse_template(source).unwrap();
+        let err = template.instantiate(&bind(&[("n", 2)])).unwrap_err();
+        assert!(err.message.contains("outside the declared range"), "{err}");
+    }
+
+    #[test]
+    fn empty_family_is_an_error() {
+        let template = parse_template(PIPELINE).unwrap();
+        let err = template.instantiate(&bind(&[("n", 0)])).unwrap_err();
+        assert!(err.message.contains("is empty"), "{err}");
+    }
+
+    #[test]
+    fn family_expansion_collision_is_an_error() {
+        let source = r#"
+            global protocol P(role w1, role w[1..n]) {
+                hi() from w1 to w[n];
+            }
+        "#;
+        let template = parse_template(source).unwrap();
+        let err = template.instantiate(&bind(&[("n", 2)])).unwrap_err();
+        assert!(err.message.contains("declared twice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_index_variable() {
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                hi() from a to w[j];
+            }
+        "#;
+        assert!(parse_template(source)
+            .unwrap_err()
+            .message
+            .contains("unknown index variable `j`"));
+    }
+
+    #[test]
+    fn rejects_unknown_variable_in_foreach_bounds() {
+        // `k` is bound by no role family, so no `--param` set could ever
+        // instantiate this template; reject it at parse time.
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                foreach i in 1..k {
+                    hi() from a to w[1];
+                }
+            }
+        "#;
+        assert!(parse_template(source)
+            .unwrap_err()
+            .message
+            .contains("unknown index variable `k`"));
+    }
+
+    #[test]
+    fn rejects_unindexed_family_reference() {
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                hi() from a to w;
+            }
+        "#;
+        assert!(parse_template(source)
+            .unwrap_err()
+            .message
+            .contains("must be indexed"));
+    }
+
+    #[test]
+    fn rejects_rec_inside_foreach() {
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                foreach i in 1..n {
+                    rec l { hi() from a to w[i]; continue l; }
+                }
+            }
+        "#;
+        assert!(parse_template(source)
+            .unwrap_err()
+            .message
+            .contains("not allowed inside a `foreach`"));
+    }
+
+    #[test]
+    fn rejects_shadowing_foreach_variable() {
+        let source = r#"
+            global protocol P(role a, role w[1..n]) {
+                foreach i in 1..n {
+                    foreach i in 1..n { hi() from a to w[i]; }
+                }
+            }
+        "#;
+        assert!(parse_template(source)
+            .unwrap_err()
+            .message
+            .contains("shadows"));
+    }
+
+    #[test]
+    fn nested_foreach_expands_all_pairs() {
+        let source = r#"
+            global protocol P(role w[1..n]) {
+                foreach i in 1..n-1 {
+                    foreach j in i+1..n {
+                        hi() from w[i] to w[j];
+                    }
+                }
+            }
+        "#;
+        let template = parse_template(source).unwrap();
+        let protocol = template.instantiate(&bind(&[("n", 3)])).unwrap();
+        // Pairs in order: (1,2), (1,3), (2,3).
+        let mut messages = Vec::new();
+        let mut body = &protocol.body;
+        while let GlobalType::Comm { from, to, branches } = body {
+            messages.push((from.to_string(), to.to_string()));
+            body = &branches[0].continuation;
+        }
+        assert_eq!(
+            messages,
+            vec![
+                ("w1".into(), "w2".into()),
+                ("w1".into(), "w3".into()),
+                ("w2".into(), "w3".into()),
+            ] as Vec<(String, String)>
+        );
+    }
+
+    #[test]
+    fn parameterised_choice_projects_per_instance() {
+        // A parameterised ring with a stop signal: every instantiation
+        // must project for every family member.
+        let source = r#"
+            global protocol PRing(role w[1..n]) {
+                rec loop {
+                    choice at w[1] {
+                        token() from w[1] to w[2];
+                        foreach i in 2..n-1 {
+                            token() from w[i] to w[i+1];
+                        }
+                        token() from w[n] to w[1];
+                        continue loop;
+                    } or {
+                        stop() from w[1] to w[2];
+                        foreach i in 2..n-1 {
+                            stop() from w[i] to w[i+1];
+                        }
+                        stop() from w[n] to w[1];
+                    }
+                }
+            }
+        "#;
+        let template = parse_template(source).unwrap();
+        for n in 2..=5 {
+            let protocol = template.instantiate(&bind(&[("n", n)])).unwrap();
+            assert_eq!(protocol.roles.len(), n as usize);
+            for role in &protocol.roles {
+                project(&protocol.body, role)
+                    .unwrap_or_else(|e| panic!("projection of {role} failed at n={n}: {e}"));
+            }
+        }
     }
 }

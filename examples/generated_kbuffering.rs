@@ -1,0 +1,17 @@
+//! The k-buffering pipeline, fully generated: session types, process
+//! skeletons and `main` are all the **unedited output** of
+//!
+//! ```text
+//! rumpsteak-gen crates/codegen/tests/protocols/kbuffering.scr --param n=4 --skeleton
+//! ```
+//!
+//! pinned byte-for-byte as `crates/codegen/tests/goldens/kbuffering.rs`
+//! and spliced in below. A source streams values through four kernel
+//! stages to a sink for `ROUNDS` iterations, then shuts the pipeline
+//! down with a `stop` that chases the values out.
+//!
+//! ```text
+//! cargo run --example generated_kbuffering
+//! ```
+
+include!("../crates/codegen/tests/goldens/kbuffering.rs");

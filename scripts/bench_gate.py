@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh `fig6 --json` run against the
+committed baseline artifact.
+
+Usage:
+    bench_gate.py BASELINE.json CURRENT.json [--tolerance X]
+
+For every protocol present in the baseline, the best (minimum) ns/op
+across thread counts is compared against the current run's best. Quick
+mode runs the same workload sizes as the committed full-mode baseline
+(only the measurement budget shrinks), so per-op numbers are directly
+comparable; the gate fails only when the current best is more than
+`--tolerance` times slower (default 2.5x) — generous on purpose, so
+noisy shared CI runners and the quick mode's smaller sample counts do
+not trip it, while genuine order-of-magnitude regressions still do.
+
+Exit codes: 0 pass, 1 regression (or baseline protocol missing from the
+current run), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_ns_per_op(report):
+    """Maps protocol -> minimum ns/op across the sweep."""
+    best = {}
+    for result in report.get("results", []):
+        protocol = result["protocol"]
+        ns = float(result["ns_per_op"])
+        if protocol not in best or ns < best[protocol]:
+            best[protocol] = ns
+    return best
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench_gate: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_fig6.json")
+    parser.add_argument("current", help="freshly generated fig6 --json output")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.5,
+        help="maximum allowed slowdown factor (default: 2.5)",
+    )
+    args = parser.parse_args()
+    if args.tolerance <= 0:
+        print("bench_gate: --tolerance must be positive", file=sys.stderr)
+        sys.exit(2)
+
+    baseline = best_ns_per_op(load(args.baseline))
+    current = best_ns_per_op(load(args.current))
+    if not baseline:
+        print("bench_gate: baseline has no results", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'protocol':<18} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")
+    for protocol in sorted(baseline):
+        base = baseline[protocol]
+        if protocol not in current:
+            print(f"{protocol:<18} {base:>12.1f} {'MISSING':>12} {'-':>8}  FAIL")
+            failures.append(f"{protocol}: missing from current run")
+            continue
+        cur = current[protocol]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok" if ratio <= args.tolerance else "FAIL"
+        print(f"{protocol:<18} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f}  {verdict}")
+        if verdict == "FAIL":
+            failures.append(
+                f"{protocol}: {cur:.1f} ns/op vs baseline {base:.1f} "
+                f"({ratio:.2f}x > {args.tolerance}x)"
+            )
+    for protocol in sorted(set(current) - set(baseline)):
+        print(f"{protocol:<18} {'-':>12} {current[protocol]:>12.1f} {'-':>8}  new")
+
+    if failures:
+        print("\nbench_gate: regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_gate: all protocols within {args.tolerance}x of baseline")
+
+
+if __name__ == "__main__":
+    main()
