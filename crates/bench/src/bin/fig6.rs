@@ -173,6 +173,18 @@ fn emit_json(quick: bool, out_path: Option<String>) {
                 streaming::run_rumpsteak(&rt, stream_n, true);
             },
         );
+        // Projected vs AMR-optimised kernel, side by side: the optimised
+        // type is exactly what the optimiser derives from the projection
+        // (pinned by `optimiser_rediscovers_kernel_opt_from_serialized_type`),
+        // so this pair is the throughput win of automatic reordering.
+        bench(
+            "double_buffering_proj",
+            format!("\"n\": {buffer_n}"),
+            buffer_n as u64,
+            &mut || {
+                double_buffering::run_rumpsteak(&rt, buffer_n, false);
+            },
+        );
         bench(
             "double_buffering",
             format!("\"n\": {buffer_n}"),

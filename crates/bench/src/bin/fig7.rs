@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig7 \
-//!     [streaming|nested-choice|ring|k-buffering|pipeline]
+//!     [streaming|nested-choice|ring|k-buffering|pipeline|amr]
 //! ```
 //!
 //! Each row reports seconds per check for SoundBinary, k-MC and
@@ -11,6 +11,12 @@
 //! paper; k-MC sweeps are capped once a single check exceeds a second so
 //! the table finishes in reasonable time — the exponential trend is
 //! visible well before the cap.
+//!
+//! The `amr` table compares the verification cost of the projected →
+//! optimised step when the reordering is hand-written (one subtype
+//! check) against deriving it automatically (the optimiser's full
+//! generate-and-verify search), per family and depth — the price of the
+//! paper's automation.
 
 use std::time::{Duration, Instant};
 
@@ -26,17 +32,19 @@ fn main() {
         "ring" => table_ring(),
         "k-buffering" => table_k_buffering(),
         "pipeline" => table_pipeline(),
+        "amr" => table_amr(),
         "all" => {
             table_streaming();
             table_nested_choice();
             table_ring();
             table_k_buffering();
             table_pipeline();
+            table_amr();
         }
         other => {
             eprintln!(
                 "unknown table `{other}`; expected \
-                 streaming|nested-choice|ring|k-buffering|pipeline|all"
+                 streaming|nested-choice|ring|k-buffering|pipeline|amr|all"
             );
             std::process::exit(2);
         }
@@ -56,7 +64,15 @@ fn time_check(mut f: impl FnMut() -> bool) -> f64 {
             break;
         }
     }
-    start.elapsed().as_secs_f64() / runs as f64
+    let seconds = start.elapsed().as_secs_f64() / runs as f64;
+    // Micro-assertion: every emitted cell must actually populate — a
+    // zero/NaN timing would render the table silently meaningless (e.g.
+    // if a check was optimised out or a clock regressed).
+    assert!(
+        seconds.is_finite() && seconds > 0.0,
+        "verification timing failed to populate"
+    );
+    seconds
 }
 
 fn fmt(seconds: Option<f64>) -> String {
@@ -145,6 +161,63 @@ fn table_pipeline() {
         };
         let rumpsteak = Some(time_check(|| k_buffering::check_rumpsteak_pipeline(n)));
         println!("{n}\t{}\t{}", fmt(kmc), fmt(rumpsteak));
+    }
+    println!();
+}
+
+/// Projected → optimised verification cost: checking a hand-written
+/// reordering vs deriving it automatically (candidate search + bulk
+/// verification). `check` times one subtype check of the hand-written
+/// variant against its projection; `derive` times the optimiser run that
+/// rediscovers it; `cands` is the number of candidates that run
+/// generates.
+fn table_amr() {
+    use theory::Name;
+
+    /// One benchmarked family: name, role, projected type, hand-written
+    /// optimised variant at depth `n`.
+    type Family = (
+        &'static str,
+        &'static str,
+        fn() -> theory::LocalType,
+        fn(usize) -> theory::LocalType,
+    );
+
+    println!("# AMR automation: hand-written check vs automatic derivation (seconds)");
+    println!("family\tn\tcheck(hand)\tderive(auto)\tcands");
+    let families: [Family; 2] = [
+        ("k-buffering", "k", k_buffering::projected, |n| {
+            k_buffering::optimised(n)
+        }),
+        ("streaming", "s", streaming::projected, |n| {
+            streaming::optimised(n)
+        }),
+    ];
+    for (family, role, projected, optimised) in families {
+        let projected = projected();
+        let projected_fsm = bench::verification::to_fsm(role, &projected);
+        for n in [1usize, 2, 4] {
+            let config = optimiser::Config::with_depth(n);
+            let hand = bench::verification::to_fsm(role, &optimised(n));
+            let check = time_check(|| subtyping::is_subtype(&hand, &projected_fsm, n + 4));
+            let outcome =
+                optimiser::optimise(&Name::from(role), &projected, &config).expect("optimises");
+            assert!(
+                outcome.candidates.iter().any(|c| c.fsm == hand),
+                "{family} n={n}: optimiser lost the hand-written reordering"
+            );
+            let derive = time_check(|| {
+                let outcome =
+                    optimiser::optimise(&Name::from(role), &projected, &config).expect("optimises");
+                outcome.best().is_some_and(|best| best.score >= n)
+            });
+            println!(
+                "{family}\t{n}\t{}\t{}\t{}",
+                fmt(Some(check)),
+                fmt(Some(derive)),
+                outcome.generated
+            );
+        }
     }
     println!();
 }

@@ -309,6 +309,25 @@ mod tests {
         assert!(!subtyping::is_subtype(&projected, &optimised, 8));
     }
 
+    /// The paper's automation claim, end to end on the *runtime* types:
+    /// starting from the serialised projected kernel, the AMR optimiser
+    /// derives a reordering FSM-equivalent to the hand-written
+    /// `KernelOpt` (both readys hoisted to the front) among its verified
+    /// candidates.
+    #[test]
+    fn optimiser_rediscovers_kernel_opt_from_serialized_type() {
+        let projected = rumpsteak::serialize::<Kernel<'static>>().unwrap();
+        let target = rumpsteak::serialize::<KernelOpt<'static>>().unwrap();
+        let outcome =
+            optimiser::optimise_fsm(&projected, &optimiser::Config::with_depth(2)).unwrap();
+        assert!(
+            outcome.candidates.iter().any(|c| c.fsm == target),
+            "optimiser no longer derives KernelOpt (generated {}, verified {})",
+            outcome.generated,
+            outcome.candidates.len()
+        );
+    }
+
     /// Bottom-up: the whole optimised system is 2-multiparty compatible.
     #[test]
     fn optimised_system_is_kmc_safe() {

@@ -24,6 +24,30 @@ pub fn to_fsm(role: &str, local: &LocalType) -> Fsm {
     fsm::from_local(&Name::from(role), local).expect("generated types are well-formed")
 }
 
+/// Runs the AMR optimiser on `projected` (unfold depth `depth`) and
+/// returns its verified candidate FSM-equivalent to `expected` — the
+/// cross-check that the search *rediscovers* a hand-written reordering
+/// rather than merely admitting it. Panics when the optimiser no longer
+/// derives it.
+fn rediscover(role: &str, projected: &LocalType, expected: &LocalType, depth: usize) -> LocalType {
+    let outcome = optimiser::optimise(
+        &Name::from(role),
+        projected,
+        &optimiser::Config::with_depth(depth),
+    )
+    .expect("projection converts to an FSM");
+    let target = to_fsm(role, expected);
+    outcome
+        .candidates
+        .iter()
+        .find(|candidate| candidate.fsm == target)
+        .unwrap_or_else(|| {
+            panic!("optimiser no longer derives the hand-written reordering of {role}")
+        })
+        .local
+        .clone()
+}
+
 /// Fig 7 (left): the streaming protocol with `n` unrolled values.
 pub mod streaming {
     use super::*;
@@ -48,6 +72,15 @@ pub mod streaming {
             t = LocalType::send("t", "value", Sort::Unit, t);
         }
         t
+    }
+
+    /// The optimiser-derived counterpart of [`optimised`]: searches the
+    /// projection's verified reorderings (unfold depth `unrolls`) for
+    /// the variant FSM-equivalent to the hand-written one, panicking if
+    /// the optimiser no longer rediscovers it. The hand-written
+    /// constructor above is thereby a cross-check on optimiser output.
+    pub fn auto_optimised(unrolls: usize) -> LocalType {
+        super::rediscover("s", &projected(), &optimised(unrolls), unrolls)
     }
 
     /// The sink: `μx. s!ready. s?value. x` (peer named `s`).
@@ -245,6 +278,29 @@ pub mod ring {
         )
     }
 
+    /// The optimiser-derived counterpart of [`optimised`]: at unfold
+    /// depth 0 (pure reordering, the paper's variant) the search's *best*
+    /// candidate is exactly the swapped loop — for `p0`, which is already
+    /// send-first, the projection is kept. Panics if the optimiser stops
+    /// rediscovering it.
+    pub fn auto_optimised(i: usize, n: usize) -> LocalType {
+        let projected = projected(i, n);
+        let outcome = optimiser::optimise(
+            &Name::from(role(i)),
+            &projected,
+            &optimiser::Config::with_depth(0),
+        )
+        .expect("projection converts");
+        let best = outcome.best_local().clone();
+        assert_eq!(
+            super::to_fsm(&role(i), &best),
+            super::to_fsm(&role(i), &optimised(i, n)),
+            "optimiser no longer derives the ring reordering for {}",
+            role(i),
+        );
+        best
+    }
+
     /// Rumpsteak verifies each participant **locally**: n independent
     /// subtype checks (this is the scalability win of Fig 7).
     pub fn check_rumpsteak(n: usize) -> bool {
@@ -315,6 +371,14 @@ pub mod k_buffering {
             t = LocalType::send("s", "ready", Sort::Unit, t);
         }
         t
+    }
+
+    /// The optimiser-derived counterpart of [`optimised`]: the Fig 4
+    /// `n`-anticipation kernel found by the verified-subtype search at
+    /// unfold depth `n` instead of constructed by hand. Panics if the
+    /// optimiser no longer rediscovers it.
+    pub fn auto_optimised(n: usize) -> LocalType {
+        super::rediscover("k", &projected(), &optimised(n), n)
     }
 
     /// The source of the double-buffering protocol (projection onto `s`).
@@ -466,6 +530,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(to_fsm("a", &subtype), to_fsm("a", &expected));
+    }
+
+    #[test]
+    fn optimiser_rediscovers_fig4_k_buffering_kernels() {
+        // Fig 4 / §2–3: the optimiser must derive, for every anticipation
+        // depth, a reordering FSM-equivalent to the hand-written kernel —
+        // and every accepted candidate is already a verified subtype.
+        for n in [1, 2, 3] {
+            let auto = k_buffering::auto_optimised(n);
+            assert_eq!(
+                to_fsm("k", &auto),
+                to_fsm("k", &k_buffering::optimised(n)),
+                "n={n}"
+            );
+            // The derived kernel drops into the whole system exactly like
+            // the hand-written one.
+            let system = kmc::System::new(vec![
+                to_fsm("k", &auto),
+                to_fsm("s", &k_buffering::source()),
+                to_fsm("t", &k_buffering::sink()),
+            ])
+            .expect("distinct roles");
+            kmc::check(&system, n + 1).expect("auto-optimised system is k-MC safe");
+        }
+    }
+
+    #[test]
+    fn optimiser_rediscovers_streaming_unrolls() {
+        for n in [1, 2, 3] {
+            assert_eq!(
+                to_fsm("s", &streaming::auto_optimised(n)),
+                to_fsm("s", &streaming::optimised(n)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimiser_rediscovers_ring_reordering_as_best() {
+        for n in [2, 3, 4] {
+            let machines: Vec<_> = (0..n)
+                .map(|i| to_fsm(&format!("p{i}"), &ring::auto_optimised(i, n)))
+                .collect();
+            let system = kmc::System::new(machines).expect("distinct roles");
+            kmc::check(&system, 1).expect("auto-optimised ring is k-MC safe");
+        }
+    }
+
+    #[test]
+    fn optimiser_beats_or_matches_hand_written_depth() {
+        // The search is allowed to find *deeper* verified reorderings
+        // than the paper's (it composes hoists with anticipation), but
+        // never shallower ones.
+        for n in [1, 2, 3] {
+            let outcome = optimiser::optimise(
+                &Name::from("k"),
+                &k_buffering::projected(),
+                &optimiser::Config::with_depth(n),
+            )
+            .unwrap();
+            assert!(outcome.best().expect("kernel optimises").score >= n);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! rumpsteak-gen protocol.scr                      # Rust module to stdout
 //! rumpsteak-gen protocol.scr --check --k 2        # verify before emitting
 //! rumpsteak-gen protocol.scr --param n=4          # instantiate `role w[1..n]`
+//! rumpsteak-gen protocol.scr --optimise --bound 2 # AMR-optimise projections
 //! rumpsteak-gen protocol.scr --skeleton           # runnable program skeleton
 //! rumpsteak-gen protocol.scr --format dot         # Graphviz FSMs
 //! rumpsteak-gen protocol.scr --format fsm         # `role: local type` lines
@@ -39,9 +40,22 @@ options:
                             program: the module plus one `async fn` per
                             role driving its session through `try_session`
                             and a `main` spawning every role
-    --check                 verify the projected system before emitting:
-                            k-MC (deadlocks, reception errors, orphans)
-                            plus a reflexive subtyping sanity pass
+    --optimise              run the AMR optimise pass: replace each role's
+                            projection with the best asynchronous message
+                            reordering verified against it by the sound
+                            subtyping algorithm (roles with no verified
+                            improvement are kept unchanged); all output
+                            formats then describe the optimised types
+    --bound N               unfold depth for --optimise: how many `rec`
+                            unfoldings a send may be anticipated across
+                            (pipeline depth; default: 1)
+    --report FILE           with --optimise, write the machine-readable
+                            optimisation report (one JSON object per
+                            role) to FILE
+    --check                 verify the system about to be emitted (the
+                            optimised one under --optimise): k-MC
+                            (deadlocks, reception errors, orphans) plus a
+                            reflexive subtyping sanity pass
     --k N                   channel bound for --check (default: 2)
     -o, --output FILE       write output to FILE instead of stdout
     -h, --help              show this help";
@@ -57,6 +71,9 @@ struct Options {
     format: Format,
     check: bool,
     skeleton: bool,
+    optimise: bool,
+    bound: Option<usize>,
+    report: Option<String>,
     params: Vec<(theory::Name, i64)>,
     k: usize,
     output: Option<String>,
@@ -68,6 +85,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format: Format::Rust,
         check: false,
         skeleton: false,
+        optimise: false,
+        bound: None,
+        report: None,
         params: Vec::new(),
         k: 2,
         output: None,
@@ -86,6 +106,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--check" => options.check = true,
             "--skeleton" => options.skeleton = true,
+            "--optimise" => options.optimise = true,
+            "--bound" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => options.bound = Some(value),
+                None => return Err("--bound requires a non-negative integer".into()),
+            },
+            "--report" => match iter.next() {
+                Some(path) => options.report = Some(path.clone()),
+                None => return Err("--report requires a path".into()),
+            },
             "--param" => match iter.next().and_then(|v| v.split_once('=')) {
                 Some((name, value)) if !name.is_empty() => match value.parse() {
                     Ok(value) => options.params.push((theory::Name::from(name), value)),
@@ -113,6 +142,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if options.skeleton && !matches!(options.format, Format::Rust) {
         return Err("--skeleton only applies to the rust format".into());
+    }
+    if options.report.is_some() && !options.optimise {
+        return Err("--report requires --optimise".into());
+    }
+    if options.bound.is_some() && !options.optimise {
+        return Err("--bound requires --optimise (--k sets the check's channel bound)".into());
     }
     Ok(options)
 }
@@ -149,13 +184,54 @@ fn main() -> ExitCode {
         },
     };
 
-    let analysis = match codegen::analyse_with(&source, &options.params) {
+    let mut analysis = match codegen::analyse_with(&source, &options.params) {
         Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if options.optimise {
+        let config = optimiser::Config::with_depth(options.bound.unwrap_or(1));
+        let reports = match codegen::optimise(&mut analysis, &config) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("error: optimise pass failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for report in &reports {
+            match &report.best {
+                Some(best) => eprintln!(
+                    "optimised: {}: score {} ({}/{} candidates verified): {}",
+                    report.role,
+                    best.score,
+                    report.verified,
+                    report.generated,
+                    best.derivation.join(", "),
+                ),
+                None => eprintln!("optimised: {}: projection already optimal", report.role),
+            }
+        }
+        if let Some(path) = options.report.as_deref() {
+            let mut json = String::from("[\n");
+            for (index, report) in reports.iter().enumerate() {
+                json.push_str("  ");
+                json.push_str(&report.to_json());
+                json.push_str(if index + 1 < reports.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            json.push_str("]\n");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if options.check {
         match codegen::check(&analysis, options.k) {

@@ -151,6 +151,29 @@ pub fn analyse_with(source: &str, params: &[(Name, i64)]) -> Result<Analysis, Er
     })
 }
 
+/// The optimise pass (`rumpsteak-gen --optimise`): replaces every role's
+/// projection with the best AMR reordering the optimiser can verify
+/// against it, so emission — `rust_module`, `rust_program`, the listings
+/// — generates code whose roles run the *optimised* local types.
+///
+/// Roles with no verified improvement keep their projection unchanged.
+/// Returns one machine-readable [`optimiser::Report`] per role, in role
+/// declaration order.
+pub fn optimise(
+    analysis: &mut Analysis,
+    config: &optimiser::Config,
+) -> Result<Vec<optimiser::Report>, Error> {
+    let mut reports = Vec::with_capacity(analysis.locals.len());
+    for ((role, local), machine) in analysis.locals.iter_mut().zip(&mut analysis.fsms) {
+        let outcome =
+            optimiser::optimise(role, local, config).map_err(|e| Error::Fsm(role.clone(), e))?;
+        *local = outcome.best_local().clone();
+        *machine = outcome.best_fsm().clone();
+        reports.push(outcome.report());
+    }
+    Ok(reports)
+}
+
 /// Renders every role's FSM as Graphviz DOT, one digraph per role.
 pub fn dot_listing(analysis: &Analysis) -> String {
     analysis
@@ -252,6 +275,34 @@ mod tests {
             check(&analysis, 2),
             Err(Error::Violation(kmc::Violation::Deadlock(_)))
         ));
+    }
+
+    #[test]
+    fn optimise_pass_keeps_locals_and_fsms_in_sync() {
+        let mut analysis = analyse(STREAMING).unwrap();
+        let reports = optimise(&mut analysis, &optimiser::Config::with_depth(1)).unwrap();
+        // The source's value/stop choice hoists above its ready receive.
+        assert!(reports[0].improved());
+        for ((role, local), machine) in analysis.locals.iter().zip(&analysis.fsms) {
+            assert_eq!(&fsm::from_local(role, local).unwrap(), machine);
+        }
+        // The optimised system is still verifiable end to end.
+        check(&analysis, 2).unwrap();
+    }
+
+    #[test]
+    fn optimise_pass_changes_emitted_sessions() {
+        let mut optimised = analyse(STREAMING).unwrap();
+        optimise(&mut optimised, &optimiser::Config::with_depth(1)).unwrap();
+        let plain = rust_module(&analyse(STREAMING).unwrap()).unwrap();
+        let optimised = rust_module(&optimised).unwrap();
+        assert_ne!(plain, optimised);
+        // Projected: s receives Ready, then selects. Optimised: the loop
+        // entry point is the selection itself.
+        assert!(plain.contains(
+            "struct SLoop<'q> for S = Receive<'q, S, T, Ready, Select<'q, S, T, SChoice<'q>>>;"
+        ));
+        assert!(optimised.contains("struct SLoop<'q> for S = Select<'q, S, T, SChoice<'q>>;"));
     }
 
     #[test]

@@ -34,6 +34,8 @@ fn fixture(dir: &str, name: &str) -> PathBuf {
 struct Directive {
     params: Vec<(Name, i64)>,
     skeleton: bool,
+    optimise: bool,
+    bound: Option<usize>,
 }
 
 fn directive(source: &str) -> Directive {
@@ -48,6 +50,11 @@ fn directive(source: &str) -> Directive {
     while let Some(word) = words.next() {
         match word {
             "--skeleton" => directive.skeleton = true,
+            "--optimise" => directive.optimise = true,
+            "--bound" => {
+                let value = words.next().expect("--bound N in directive");
+                directive.bound = Some(value.parse().expect("integer bound"));
+            }
             "--param" => {
                 let (name, value) = words
                     .next()
@@ -65,7 +72,11 @@ fn directive(source: &str) -> Directive {
 
 fn generate(source: &str) -> String {
     let directive = directive(source);
-    let analysis = codegen::analyse_with(source, &directive.params).expect("protocol analyses");
+    let mut analysis = codegen::analyse_with(source, &directive.params).expect("protocol analyses");
+    if directive.optimise {
+        let config = optimiser::Config::with_depth(directive.bound.unwrap_or(1));
+        codegen::optimise(&mut analysis, &config).expect("optimise pass succeeds");
+    }
     if directive.skeleton {
         codegen::rust_program(&analysis).expect("program generates")
     } else {
@@ -102,7 +113,9 @@ fn every_protocol_matches_its_golden() {
     // The corpus never shrinks silently.
     for required in [
         "double_buffering",
+        "gather",
         "kbuffering",
+        "kbuffering_opt",
         "pmesh",
         "pring",
         "ring",
@@ -180,6 +193,48 @@ fn cli_emits_the_kbuffering_skeleton_golden() {
     let expected =
         std::fs::read_to_string(fixture("goldens", "kbuffering.rs")).expect("golden exists");
     assert_eq!(String::from_utf8_lossy(&output.stdout), expected);
+}
+
+#[test]
+fn cli_optimise_emits_the_kbuffering_opt_golden_and_report() {
+    let scr = fixture("protocols", "kbuffering_opt.scr");
+    let report = std::env::temp_dir().join("rumpsteak-gen-kbuffering-opt-report.json");
+    let output = run_cli(&[
+        scr.to_str().unwrap(),
+        "--param",
+        "n=4",
+        "--skeleton",
+        "--optimise",
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert!(output.status.success());
+    let expected =
+        std::fs::read_to_string(fixture("goldens", "kbuffering_opt.rs")).expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), expected);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("optimised: s: score 1"));
+    assert!(stderr.contains("optimised: t: projection already optimal"));
+    let report = std::fs::read_to_string(report).expect("report written");
+    assert!(report.contains("\"role\": \"s\""));
+    assert!(report.contains("\"improved\": true"));
+    assert!(report.contains("hoist w1! past w1?"));
+}
+
+#[test]
+fn cli_rejects_report_without_optimise() {
+    let scr = fixture("protocols", "ring.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--report", "/tmp/unused.json"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn cli_rejects_bound_without_optimise() {
+    // `--bound` is the optimiser's unfold depth, easily confused with
+    // `--k`; silently ignoring it would mislead.
+    let scr = fixture("protocols", "ring.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--check", "--bound", "4"]);
+    assert_eq!(output.status.code(), Some(2));
 }
 
 #[test]

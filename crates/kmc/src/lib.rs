@@ -25,6 +25,15 @@ use std::fmt;
 use theory::fsm::{Direction, Fsm, StateIndex};
 use theory::name::Name;
 
+/// Interned message label: an index into [`System::labels`].
+///
+/// Configurations store label ids instead of [`Name`]s so that hashing a
+/// [`Config`] — the hot operation of the exploration's visited set —
+/// hashes small integers instead of re-hashing label strings for every
+/// queued message (the clone-heavy cost that dominated larger `k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
 /// A communicating system: one FSM per participant.
 ///
 /// Machine roles must be pairwise distinct, and every action's peer must
@@ -33,6 +42,9 @@ use theory::name::Name;
 pub struct System {
     machines: Vec<Fsm>,
     roles: Vec<Name>,
+    /// Label table: `LabelId(i)` names `labels[i]`; first-occurrence
+    /// order over machines/states/transitions, so deterministic.
+    labels: Vec<Name>,
 }
 
 /// Errors constructing a [`System`].
@@ -66,6 +78,7 @@ impl System {
                 return Err(SystemError::DuplicateRole(role.clone()));
             }
         }
+        let mut labels: Vec<Name> = Vec::new();
         for machine in &machines {
             for state in machine.states() {
                 for (action, _) in machine.transitions(state) {
@@ -75,10 +88,17 @@ impl System {
                             peer: action.peer.clone(),
                         });
                     }
+                    if !labels.contains(&action.label) {
+                        labels.push(action.label.clone());
+                    }
                 }
             }
         }
-        Ok(Self { machines, roles })
+        Ok(Self {
+            machines,
+            roles,
+            labels,
+        })
     }
 
     /// The machines in the system.
@@ -86,11 +106,26 @@ impl System {
         &self.machines
     }
 
+    /// The interned label table (resolve a [`LabelId`] from a
+    /// [`Config`]'s channel contents back to its name).
+    pub fn labels(&self) -> &[Name] {
+        &self.labels
+    }
+
     fn role_index(&self, role: &Name) -> usize {
         self.roles
             .iter()
             .position(|r| r == role)
             .expect("validated at construction")
+    }
+
+    fn label_id(&self, label: &Name) -> LabelId {
+        LabelId(
+            self.labels
+                .iter()
+                .position(|l| l == label)
+                .expect("interned at construction") as u32,
+        )
     }
 
     fn channel_index(&self, from: usize, to: usize) -> usize {
@@ -103,8 +138,9 @@ impl System {
 pub struct Config {
     /// Current state of each machine, indexed like `System::machines`.
     pub states: Vec<StateIndex>,
-    /// FIFO contents of channel `from → to` at `from * n + to`.
-    pub channels: Vec<VecDeque<Name>>,
+    /// FIFO contents of channel `from → to` at `from * n + to`, as
+    /// interned [`LabelId`]s (see [`System::labels`]).
+    pub channels: Vec<VecDeque<LabelId>>,
 }
 
 /// A violation of k-multiparty compatibility.
@@ -157,10 +193,48 @@ pub struct Report {
     pub exhaustive: bool,
 }
 
+/// One machine transition with peer and label pre-resolved to indices,
+/// so the exploration loop never hashes a name or searches the role
+/// list.
+#[derive(Clone, Copy)]
+struct CompiledAction {
+    direction: Direction,
+    /// Index of the peer machine.
+    peer: usize,
+    label: LabelId,
+    target: StateIndex,
+}
+
 /// Runs the k-MC check with channel bound `k` (`k ≥ 1`).
 pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
     let k = k.max(1);
     let machine_count = system.machines.len();
+
+    // Compile every transition once: peer names become machine indices,
+    // labels become interned ids (the exploration then touches only
+    // integers — configurations hash and compare without string work).
+    let compiled: Vec<Vec<Vec<CompiledAction>>> = system
+        .machines
+        .iter()
+        .map(|machine| {
+            machine
+                .states()
+                .map(|state| {
+                    machine
+                        .transitions(state)
+                        .iter()
+                        .map(|(action, target)| CompiledAction {
+                            direction: action.direction,
+                            peer: system.role_index(&action.peer),
+                            label: system.label_id(&action.label),
+                            target: *target,
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
     let initial = Config {
         states: system.machines.iter().map(|m| m.initial()).collect(),
         channels: vec![VecDeque::new(); machine_count * machine_count],
@@ -177,20 +251,19 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
     while let Some(config) = queue.pop_front() {
         let mut enabled_any = false;
 
-        for (index, machine) in system.machines.iter().enumerate() {
+        for (index, states) in compiled.iter().enumerate() {
             let state = config.states[index];
-            for (action, target) in machine.transitions(state) {
+            for action in &states[state.0] {
                 match action.direction {
                     Direction::Send => {
-                        let peer = system.role_index(&action.peer);
-                        let channel = system.channel_index(index, peer);
+                        let channel = system.channel_index(index, action.peer);
                         if config.channels[channel].len() >= k {
                             exhaustive = false;
                             continue;
                         }
                         let mut next = config.clone();
-                        next.states[index] = *target;
-                        next.channels[channel].push_back(action.label.clone());
+                        next.states[index] = action.target;
+                        next.channels[channel].push_back(action.label);
                         enabled_any = true;
                         transitions += 1;
                         if !seen.contains(&next) {
@@ -199,13 +272,12 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
                         }
                     }
                     Direction::Receive => {
-                        let peer = system.role_index(&action.peer);
-                        let channel = system.channel_index(peer, index);
+                        let channel = system.channel_index(action.peer, index);
                         if config.channels[channel].front() != Some(&action.label) {
                             continue;
                         }
                         let mut next = config.clone();
-                        next.states[index] = *target;
+                        next.states[index] = action.target;
                         next.channels[channel].pop_front();
                         enabled_any = true;
                         transitions += 1;
@@ -220,29 +292,24 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
 
         // Reception errors: a machine committed to receiving whose
         // matching channel head is unexpected.
-        for (index, machine) in system.machines.iter().enumerate() {
+        for (index, states) in compiled.iter().enumerate() {
             let state = config.states[index];
-            let all = machine.transitions(state);
-            let receives: Vec<_> = all
-                .iter()
-                .filter(|(a, _)| a.direction == Direction::Receive)
-                .collect();
-            if receives.is_empty() || receives.len() != all.len() {
+            let all = &states[state.0];
+            if all.is_empty() || all.iter().any(|a| a.direction != Direction::Receive) {
                 // Not a receive-committed state (sends can still progress).
                 continue;
             }
-            for (action, _) in &receives {
-                let peer = system.role_index(&action.peer);
-                let channel = system.channel_index(peer, index);
-                if let Some(found) = config.channels[channel].front().cloned() {
-                    let expected = receives
+            for action in all {
+                let channel = system.channel_index(action.peer, index);
+                if let Some(&found) = config.channels[channel].front() {
+                    let expected = all
                         .iter()
-                        .any(|(a, _)| a.peer == action.peer && a.label == found);
+                        .any(|a| a.peer == action.peer && a.label == found);
                     if !expected {
                         return Err(Violation::ReceptionError {
                             role: system.roles[index].clone(),
-                            peer: system.roles[peer].clone(),
-                            found,
+                            peer: system.roles[action.peer].clone(),
+                            found: system.labels[found.0 as usize].clone(),
                             config,
                         });
                     }

@@ -1,0 +1,498 @@
+//! Automatic asynchronous message reordering (AMR) — the paper's core
+//! contribution, as a subsystem: take any projected local type (or FSM)
+//! and *derive* optimised variants automatically instead of writing them
+//! by hand.
+//!
+//! The pipeline (§2–§3, Fig 1b):
+//!
+//! 1. **generate** — close the projection under the send-hoisting
+//!    rewrites of [`rewrite`] (commute a send past preceding receives
+//!    from other roles, and anticipate loop sends across `rec`
+//!    unfoldings up to a configurable depth), breadth-first with
+//!    deduplication and budget caps;
+//! 2. **verify** — validate every candidate against the projection with
+//!    the sound asynchronous subtyping algorithm
+//!    (`subtyping::check_candidates`), so only provably safe
+//!    reorderings survive;
+//! 3. **score** — rank the verified candidates by how many receives
+//!    their sends were moved ahead of (sends made non-blocking /
+//!    pipeline depth unlocked), tie-breaking towards smaller machines;
+//! 4. **report** — return the best verified subtype plus a
+//!    machine-readable [`Report`] of the whole search.
+//!
+//! ```
+//! use optimiser::{optimise, Config};
+//! use theory::local;
+//!
+//! // The projected double-buffering kernel Mk (paper Fig 4a)...
+//! let projected = local::parse("rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+//! let outcome = optimise(&"k".into(), &projected, &Config::with_depth(1)).unwrap();
+//! // ...contains the hand-derived optimised kernel M'k (Fig 4b) among
+//! // its verified candidates, each a proven subtype of the projection.
+//! let fig4b = local::parse("s!ready . rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+//! assert!(outcome.candidates.iter().any(|c| c.local == fig4b));
+//! assert!(outcome.best().is_some());
+//! ```
+
+pub mod rewrite;
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use theory::fsm::{self, Fsm, FsmError};
+use theory::local::LocalType;
+use theory::name::Name;
+
+pub use rewrite::Step;
+
+/// Search budgets for the candidate generation and verification.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum loop anticipations per candidate — how many `rec`
+    /// unfoldings a send may be hoisted across (the pipeline depth, the
+    /// CLI's `--bound`).
+    pub unfold_depth: usize,
+    /// Maximum rewrite steps per candidate derivation.
+    pub max_steps: usize,
+    /// Maximum number of candidates generated before the search stops
+    /// (the report records whether this cap was hit).
+    pub max_candidates: usize,
+    /// Recursion-unrolling bound handed to the subtype checker; deeper
+    /// anticipation needs a larger bound.
+    pub bound: usize,
+}
+
+impl Config {
+    /// Budgets for an optimisation of pipeline depth `depth`: up to
+    /// `depth` anticipations per loop, enough rewrite steps to move a
+    /// send across a handful of actions, and a subtype bound with slack
+    /// to discharge the deepest anticipation.
+    pub fn with_depth(depth: usize) -> Self {
+        Config {
+            unfold_depth: depth,
+            max_steps: depth.max(4),
+            max_candidates: 512,
+            bound: depth + 4,
+        }
+    }
+}
+
+impl Default for Config {
+    /// The CLI default: single anticipation (double buffering).
+    fn default() -> Self {
+        Config::with_depth(1)
+    }
+}
+
+/// One verified reordering of the projection.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The reordered local type.
+    pub local: LocalType,
+    /// Its FSM (what emission and k-MC consume).
+    pub fsm: Fsm,
+    /// The rewrite steps that produced it, in application order.
+    pub derivation: Vec<Step>,
+    /// Σ of step scores: receives that sends were moved ahead of.
+    pub score: usize,
+    /// Statistics of the subtype check that verified it.
+    pub stats: subtyping::CheckStats,
+}
+
+/// The outcome of one optimisation run for a single role.
+#[derive(Clone, Debug)]
+pub struct Optimised {
+    /// The role the projection belongs to.
+    pub role: Name,
+    /// The input projection.
+    pub projection: LocalType,
+    /// The projection's FSM (the supertype every candidate was checked
+    /// against).
+    pub projection_fsm: Fsm,
+    /// Candidates generated (before verification).
+    pub generated: usize,
+    /// Verified candidates, best first (score desc, then fewer states,
+    /// then generation order).
+    pub candidates: Vec<Candidate>,
+    /// True when generation stopped at [`Config::max_candidates`].
+    pub truncated: bool,
+    /// The subtype bound the candidates were verified with.
+    pub bound: usize,
+}
+
+impl Optimised {
+    /// The best verified candidate that strictly improves on the
+    /// projection, if any.
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first().filter(|c| c.score > 0)
+    }
+
+    /// The local type to emit: the best improving candidate, or the
+    /// projection unchanged.
+    pub fn best_local(&self) -> &LocalType {
+        self.best().map_or(&self.projection, |c| &c.local)
+    }
+
+    /// The FSM matching [`best_local`](Self::best_local).
+    pub fn best_fsm(&self) -> &Fsm {
+        self.best().map_or(&self.projection_fsm, |c| &c.fsm)
+    }
+
+    /// Condenses the run into the machine-readable [`Report`].
+    pub fn report(&self) -> Report {
+        Report {
+            role: self.role.clone(),
+            projection: self.projection.to_string(),
+            generated: self.generated,
+            verified: self.candidates.len(),
+            truncated: self.truncated,
+            bound: self.bound,
+            best: self.best().map(|c| BestCandidate {
+                local: c.local.to_string(),
+                score: c.score,
+                states: c.fsm.len(),
+                derivation: c.derivation.iter().map(Step::to_string).collect(),
+                visited_pairs: c.stats.visited_pairs,
+            }),
+        }
+    }
+}
+
+/// Machine-readable summary of one role's optimisation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The optimised role.
+    pub role: Name,
+    /// Textual form of the input projection.
+    pub projection: String,
+    /// Candidates generated.
+    pub generated: usize,
+    /// Candidates that passed the subtype check.
+    pub verified: usize,
+    /// Whether generation hit the candidate cap.
+    pub truncated: bool,
+    /// Subtype bound used for verification.
+    pub bound: usize,
+    /// The winning candidate; `None` when no verified candidate improves
+    /// on the projection (score 0), in which case the projection is kept.
+    pub best: Option<BestCandidate>,
+}
+
+/// The winning candidate inside a [`Report`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BestCandidate {
+    /// Textual form of the reordered local type.
+    pub local: String,
+    /// Receives that sends were moved ahead of.
+    pub score: usize,
+    /// FSM state count.
+    pub states: usize,
+    /// Human-readable rewrite steps, in application order.
+    pub derivation: Vec<String>,
+    /// State-pair visits of the verifying subtype check.
+    pub visited_pairs: usize,
+}
+
+impl Report {
+    /// Whether the role's type changed.
+    pub fn improved(&self) -> bool {
+        self.best.is_some()
+    }
+
+    /// Renders the report as one JSON object (the same shape for every
+    /// role, so reports concatenate into a JSON array naturally).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"role\": {}, \"projection\": {}, \"generated\": {}, \"verified\": {}, \
+             \"truncated\": {}, \"bound\": {}, \"improved\": {}, \"best\": ",
+            json_string(self.role.as_str()),
+            json_string(&self.projection),
+            self.generated,
+            self.verified,
+            self.truncated,
+            self.bound,
+            self.improved(),
+        );
+        match &self.best {
+            None => out.push_str("null"),
+            Some(best) => {
+                let derivation: Vec<String> =
+                    best.derivation.iter().map(|s| json_string(s)).collect();
+                let _ = write!(
+                    out,
+                    "{{\"local\": {}, \"score\": {}, \"states\": {}, \"visited_pairs\": {}, \
+                     \"derivation\": [{}]}}",
+                    json_string(&best.local),
+                    best.score,
+                    best.states,
+                    best.visited_pairs,
+                    derivation.join(", "),
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Derives verified AMR reorderings of `projection` for `role`.
+///
+/// Errors only when the projection itself is not FSM-convertible
+/// (unguarded or unbound recursion); candidates that fail conversion are
+/// silently dropped, and candidates that fail verification are counted
+/// but not returned.
+pub fn optimise(
+    role: &Name,
+    projection: &LocalType,
+    config: &Config,
+) -> Result<Optimised, FsmError> {
+    let projection_fsm = fsm::from_local(role, projection)?;
+
+    // ---- generate: breadth-first closure under the rewrites ----------
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(projection.to_string());
+    let mut generated: Vec<(LocalType, Vec<Step>)> = Vec::new();
+    let mut frontier: Vec<(LocalType, Vec<Step>)> = vec![(projection.clone(), Vec::new())];
+    let mut truncated = false;
+    'search: while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (term, derivation) in &frontier {
+            if derivation.len() >= config.max_steps {
+                continue;
+            }
+            let anticipations = derivation
+                .iter()
+                .filter(|s| matches!(s, Step::Anticipate { .. }))
+                .count();
+            for (candidate, step) in rewrite::rewrites(term, anticipations < config.unfold_depth) {
+                if !seen.insert(candidate.to_string()) {
+                    continue;
+                }
+                let mut derivation = derivation.clone();
+                derivation.push(step);
+                generated.push((candidate.clone(), derivation.clone()));
+                if generated.len() >= config.max_candidates {
+                    truncated = true;
+                    break 'search;
+                }
+                next.push((candidate, derivation));
+            }
+        }
+        frontier = next;
+    }
+
+    // ---- verify: every candidate against the projection --------------
+    let mut convertible = Vec::with_capacity(generated.len());
+    for (local, derivation) in generated.iter() {
+        // A rewrite cannot unguard recursion (no action is ever
+        // removed), but stay defensive: drop inconvertible candidates.
+        if let Ok(machine) = fsm::from_local(role, local) {
+            convertible.push((local, derivation, machine));
+        }
+    }
+    let stats = subtyping::check_candidates(
+        convertible.iter().map(|(_, _, machine)| machine),
+        &projection_fsm,
+        config.bound,
+    );
+    let mut candidates: Vec<Candidate> = convertible
+        .into_iter()
+        .zip(stats)
+        .filter(|(_, stats)| stats.verdict)
+        .map(|((local, derivation, machine), stats)| Candidate {
+            local: local.clone(),
+            fsm: machine,
+            score: derivation.iter().map(Step::score).sum(),
+            derivation: derivation.clone(),
+            stats,
+        })
+        .collect();
+
+    // ---- score: best first, stably --------------------------------
+    // (sort_by_key is stable, so equal (score, states) keep generation
+    // order: earlier-generated candidates win ties.)
+    candidates.sort_by_key(|c| (std::cmp::Reverse(c.score), c.fsm.len()));
+
+    Ok(Optimised {
+        role: role.clone(),
+        projection: projection.clone(),
+        projection_fsm,
+        generated: generated.len(),
+        candidates,
+        truncated,
+        bound: config.bound,
+    })
+}
+
+/// [`optimise`] for a projection already in FSM form (e.g. a type
+/// serialised back out of the runtime, the bottom-up workflow of
+/// Fig 1b).
+pub fn optimise_fsm(projection: &Fsm, config: &Config) -> Result<Optimised, FsmError> {
+    let local = fsm::to_local(projection)?;
+    optimise(&projection.role, &local, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use theory::local::parse;
+
+    fn run(projection: &str, depth: usize) -> Optimised {
+        optimise(
+            &"self".into(),
+            &parse(projection).unwrap(),
+            &Config::with_depth(depth),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_candidate_is_a_verified_subtype() {
+        let outcome = run("rec x . s!ready . s?value . t?ready . t!value . x", 2);
+        assert!(outcome.generated > outcome.candidates.len());
+        for candidate in &outcome.candidates {
+            assert!(candidate.stats.verdict);
+            assert!(subtyping::is_subtype(
+                &candidate.fsm,
+                &outcome.projection_fsm,
+                outcome.bound
+            ));
+        }
+    }
+
+    #[test]
+    fn double_buffering_kernel_fig4b_is_derived() {
+        let outcome = run("rec x . s!ready . s?value . t?ready . t!value . x", 1);
+        let fig4b = parse("s!ready . rec x . s!ready . s?value . t?ready . t!value . x").unwrap();
+        assert!(outcome.candidates.iter().any(|c| c.local == fig4b));
+        // The winner strictly improves and is itself verified.
+        let best = outcome.best().expect("kernel admits an optimisation");
+        assert!(best.score >= 1);
+    }
+
+    #[test]
+    fn ring_participant_best_is_the_swapped_loop() {
+        // Fig 7 ring at unfold depth 0 (pure reordering, the paper's
+        // variant): receive-then-send becomes send-then-receive.
+        let outcome = run("rec x . p?v . q!v . x", 0);
+        assert_eq!(
+            outcome.best().expect("ring optimises").local,
+            parse("rec x . q!v . p?v . x").unwrap()
+        );
+    }
+
+    #[test]
+    fn deeper_unfolds_pipeline_the_ring_further() {
+        // With an unfold budget the search composes the swap with loop
+        // anticipation: two values in flight instead of one. The paper's
+        // depth-0 form is still among the verified candidates.
+        let outcome = run("rec x . p?v . q!v . x", 1);
+        let swapped = parse("rec x . q!v . p?v . x").unwrap();
+        assert!(outcome.candidates.iter().any(|c| c.local == swapped));
+        assert!(outcome.best().expect("ring optimises").score >= 2);
+    }
+
+    #[test]
+    fn already_optimal_types_are_kept() {
+        let outcome = run("rec x . q!v . p?v . x", 0);
+        assert!(outcome.best().is_none());
+        assert_eq!(
+            outcome.best_local(),
+            &parse("rec x . q!v . p?v . x").unwrap()
+        );
+        assert!(!outcome.report().improved());
+    }
+
+    #[test]
+    fn terminating_loops_reject_unbalanced_anticipation() {
+        // With an exit branch, prepending a `ready` owes the peer one
+        // send too many; every anticipated candidate must be rejected.
+        let outcome = run("rec x . q!ready . &{ q?value . x, q?stop . end }", 3);
+        assert!(outcome.best().is_none());
+        for candidate in &outcome.candidates {
+            assert!(
+                !candidate
+                    .derivation
+                    .iter()
+                    .any(|s| matches!(s, Step::Anticipate { .. })),
+                "unsound anticipation slipped through: {}",
+                candidate.local
+            );
+        }
+    }
+
+    #[test]
+    fn choice_hoist_crosses_the_guarding_receive() {
+        // The k-buffering source: the value/stop decision moves above the
+        // ready receive, so the source streams without blocking.
+        let outcome = run("rec l . q?ready . +{ q!value . l, q!stop . end }", 1);
+        assert_eq!(
+            outcome.best().expect("source optimises").local,
+            parse("rec l . +{ q!value . q?ready . l, q!stop . q?ready . end }").unwrap()
+        );
+    }
+
+    #[test]
+    fn unfold_depth_caps_anticipation() {
+        let projection = "rec x . t?ready . t!value . x";
+        for depth in 1..=3 {
+            let outcome = run(projection, depth);
+            let deepest = outcome
+                .candidates
+                .iter()
+                .map(|c| {
+                    c.derivation
+                        .iter()
+                        .filter(|s| matches!(s, Step::Anticipate { .. }))
+                        .count()
+                })
+                .max()
+                .unwrap_or(0);
+            assert_eq!(deepest, depth, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn optimise_fsm_round_trips() {
+        let projection = parse("rec x . p?v . q!v . x").unwrap();
+        let machine = fsm::from_local(&"r".into(), &projection).unwrap();
+        let outcome = optimise_fsm(&machine, &Config::with_depth(0)).unwrap();
+        // `to_local` renames recursion variables, so compare machines.
+        assert_eq!(
+            fsm::from_local(&"r".into(), &outcome.best().expect("optimises").local).unwrap(),
+            fsm::from_local(&"r".into(), &parse("rec x . q!v . p?v . x").unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let outcome = run("rec x . p?v . q!v . x", 0);
+        let json = outcome.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"role\": \"self\""));
+        assert!(json.contains("\"improved\": true"));
+        assert!(json.contains("\"derivation\": [\"hoist q! past p?\"]"));
+        let unimproved = run("end", 1).report().to_json();
+        assert!(unimproved.contains("\"best\": null"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The AMR rewrite rules: every way one send can move earlier in a local
+//! type.
+//!
+//! Three rules generate candidates (paper §2, Fig 4; §3 Example 2):
+//!
+//! * **hoist past receive** — an internal choice immediately preceded by
+//!   a single receive moves above it, duplicating the receive into each
+//!   branch (`p?a.⊕ᵢq!ℓᵢ.Tᵢ ↦ ⊕ᵢq!ℓᵢ.p?a.Tᵢ`). This is output
+//!   anticipation across an input — rule `[)B]`/R2 territory — and is
+//!   what unblocks a send that waits on an unrelated receive.
+//! * **hoist past send** — an internal choice immediately preceded by a
+//!   single send *to a different peer* moves above it. No receive is
+//!   crossed (score 0) but the move enables further hoists, e.g. the
+//!   second `ready` of the finite double-buffering kernel crossing the
+//!   `value` towards the sink (Fig 4b).
+//! * **anticipate** — one copy of a send occurring in a loop body is
+//!   prepended ahead of the `rec` binder (`μt.T ↦ q!ℓ.μt.T`), the
+//!   unfold-once-and-commute transformation behind k-buffering: `k`
+//!   applications yield the `k+1`-buffer pipeline.
+//!
+//! Rules fire at *any* position in the term, and compose: the candidate
+//! search closes over them breadth-first. None of them is checked for
+//! soundness here — every candidate is validated against the projection
+//! by `subtyping::is_subtype` afterwards, so an unsound combination
+//! (e.g. anticipating past an exit branch that unbalances the loop, or
+//! crossing a same-peer send) is simply rejected.
+
+use std::fmt;
+
+use theory::local::{LocalBranch, LocalType};
+use theory::name::Name;
+use theory::sort::Sort;
+
+/// One rewrite application, recorded in a candidate's derivation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// A send-choice towards `sender_peer` moved above a receive from
+    /// `receive_peer`.
+    HoistPastReceive {
+        /// Peer of the hoisted internal choice.
+        send_peer: Name,
+        /// Peer of the receive that was crossed.
+        receive_peer: Name,
+    },
+    /// A send-choice towards `inner` moved above a send to `outer`
+    /// (a different peer; same-peer crossings are never generated, the
+    /// subtyping relation forbids them).
+    HoistPastSend {
+        /// Peer of the hoisted inner choice.
+        inner: Name,
+        /// Peer of the outer send that was crossed.
+        outer: Name,
+    },
+    /// One copy of `peer!label` was prepended ahead of a `rec` loop that
+    /// sends it, anticipating the next iteration's send.
+    Anticipate {
+        /// Receiver of the anticipated send.
+        peer: Name,
+        /// Label of the anticipated send.
+        label: Name,
+    },
+}
+
+impl Step {
+    /// How many receives this step moved a send ahead of — the
+    /// "sends made non-blocking" contribution to a candidate's score.
+    /// An anticipation counts 1 (one extra iteration of pipeline depth);
+    /// a send-past-send crossing is enabling only.
+    pub fn score(&self) -> usize {
+        match self {
+            Step::HoistPastReceive { .. } | Step::Anticipate { .. } => 1,
+            Step::HoistPastSend { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::HoistPastReceive {
+                send_peer,
+                receive_peer,
+            } => write!(f, "hoist {send_peer}! past {receive_peer}?"),
+            Step::HoistPastSend { inner, outer } => write!(f, "hoist {inner}! past {outer}!"),
+            Step::Anticipate { peer, label } => write!(f, "anticipate {peer}!{label}"),
+        }
+    }
+}
+
+/// All single-step rewrites of `term`, at every position.
+///
+/// `allow_anticipate` gates the loop-anticipation rule (the search turns
+/// it off once a candidate has used its unfold budget).
+pub fn rewrites(term: &LocalType, allow_anticipate: bool) -> Vec<(LocalType, Step)> {
+    let mut out = Vec::new();
+    collect(term, allow_anticipate, &mut |candidate, step| {
+        out.push((candidate, step))
+    });
+    out
+}
+
+fn collect(term: &LocalType, allow_anticipate: bool, emit: &mut dyn FnMut(LocalType, Step)) {
+    // Rewrites rooted at this node.
+    match term {
+        LocalType::End | LocalType::Var(_) => {}
+        LocalType::Branch { peer, branches } if branches.len() == 1 => {
+            let guard = &branches[0];
+            if let LocalType::Select {
+                peer: send_peer,
+                branches: inner,
+            } = &guard.continuation
+            {
+                emit(
+                    hoisted(send_peer, inner, |continuation| LocalType::Branch {
+                        peer: peer.clone(),
+                        branches: vec![LocalBranch {
+                            label: guard.label.clone(),
+                            sort: guard.sort.clone(),
+                            continuation,
+                        }],
+                    }),
+                    Step::HoistPastReceive {
+                        send_peer: send_peer.clone(),
+                        receive_peer: peer.clone(),
+                    },
+                );
+            }
+        }
+        LocalType::Select { peer, branches } if branches.len() == 1 => {
+            let outer = &branches[0];
+            if let LocalType::Select {
+                peer: inner_peer,
+                branches: inner,
+            } = &outer.continuation
+            {
+                // Same-peer crossings violate the subtyping relation's
+                // FIFO-per-peer discipline; don't bother generating them.
+                if inner_peer != peer {
+                    emit(
+                        hoisted(inner_peer, inner, |continuation| LocalType::Select {
+                            peer: peer.clone(),
+                            branches: vec![LocalBranch {
+                                label: outer.label.clone(),
+                                sort: outer.sort.clone(),
+                                continuation,
+                            }],
+                        }),
+                        Step::HoistPastSend {
+                            inner: inner_peer.clone(),
+                            outer: peer.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+    if allow_anticipate {
+        if let LocalType::Rec { body, .. } = term {
+            for (peer, label, sort) in body_sends(body) {
+                emit(
+                    LocalType::send(peer.clone(), label.clone(), sort.clone(), term.clone()),
+                    Step::Anticipate { peer, label },
+                );
+            }
+        }
+    }
+
+    // Rewrites in subterms, spliced back into place.
+    match term {
+        LocalType::End | LocalType::Var(_) => {}
+        LocalType::Rec { var, body } => {
+            collect(body, allow_anticipate, &mut |new_body, step| {
+                emit(
+                    LocalType::Rec {
+                        var: var.clone(),
+                        body: Box::new(new_body),
+                    },
+                    step,
+                )
+            });
+        }
+        LocalType::Select { peer, branches } | LocalType::Branch { peer, branches } => {
+            let is_select = matches!(term, LocalType::Select { .. });
+            for (index, branch) in branches.iter().enumerate() {
+                collect(&branch.continuation, allow_anticipate, &mut |cont, step| {
+                    let mut branches = branches.clone();
+                    branches[index].continuation = cont;
+                    let peer = peer.clone();
+                    emit(
+                        if is_select {
+                            LocalType::Select { peer, branches }
+                        } else {
+                            LocalType::Branch { peer, branches }
+                        },
+                        step,
+                    )
+                });
+            }
+        }
+    }
+}
+
+/// Builds the hoisted form: the inner select's branches, each wrapped by
+/// `rebuild` (which reinstates the crossed outer action inside the
+/// branch).
+fn hoisted(
+    send_peer: &Name,
+    inner: &[LocalBranch],
+    rebuild: impl Fn(LocalType) -> LocalType,
+) -> LocalType {
+    LocalType::Select {
+        peer: send_peer.clone(),
+        branches: inner
+            .iter()
+            .map(|branch| LocalBranch {
+                label: branch.label.clone(),
+                sort: branch.sort.clone(),
+                continuation: rebuild(branch.continuation.clone()),
+            })
+            .collect(),
+    }
+}
+
+/// Distinct send actions occurring anywhere in `body`, in term order.
+fn body_sends(body: &LocalType) -> Vec<(Name, Name, Sort)> {
+    fn go(term: &LocalType, out: &mut Vec<(Name, Name, Sort)>) {
+        match term {
+            LocalType::End | LocalType::Var(_) => {}
+            LocalType::Rec { body, .. } => go(body, out),
+            LocalType::Select { peer, branches } => {
+                for branch in branches {
+                    let action = (peer.clone(), branch.label.clone(), branch.sort.clone());
+                    if !out.contains(&action) {
+                        out.push(action);
+                    }
+                    go(&branch.continuation, out);
+                }
+            }
+            LocalType::Branch { branches, .. } => {
+                for branch in branches {
+                    go(&branch.continuation, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(body, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use theory::local::parse;
+
+    fn displays(term: &str, allow_anticipate: bool) -> Vec<String> {
+        rewrites(&parse(term).unwrap(), allow_anticipate)
+            .into_iter()
+            .map(|(t, _)| t.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn hoists_send_past_receive() {
+        assert_eq!(displays("p?a.q!b.end", false), vec!["q!b.p?a.end"]);
+    }
+
+    #[test]
+    fn hoists_choice_past_receive_duplicating_it() {
+        // The appendix B.2.1 ring-with-choice reordering.
+        assert_eq!(
+            displays("a?add.+{ c!add.end, c!sub.end }", false),
+            vec!["+{c!add.a?add.end, c!sub.a?add.end}"]
+        );
+    }
+
+    #[test]
+    fn hoists_send_past_send_to_other_peer_only() {
+        assert_eq!(displays("q!b.p!a.end", false), vec!["p!a.q!b.end"]);
+        // Same peer: generating it would only waste a verification call.
+        assert!(displays("p!b.p!a.end", false).is_empty());
+    }
+
+    #[test]
+    fn anticipates_each_loop_send_once() {
+        let candidates = displays("rec x . s!ready . s?value . t!value . x", true);
+        assert!(candidates.contains(&"s!ready.rec x.s!ready.s?value.t!value.x".to_owned()));
+        assert!(candidates.contains(&"t!value.rec x.s!ready.s?value.t!value.x".to_owned()));
+    }
+
+    #[test]
+    fn anticipation_can_be_disabled() {
+        assert!(displays("rec x . s!ready . s?value . x", false).is_empty());
+    }
+
+    #[test]
+    fn rewrites_fire_under_binders_and_in_branches() {
+        let candidates = displays("rec x . p?a . q!b . x", true);
+        // In-body hoist and loop anticipation both found.
+        assert!(candidates.contains(&"rec x.q!b.p?a.x".to_owned()));
+        assert!(candidates.contains(&"q!b.rec x.p?a.q!b.x".to_owned()));
+    }
+
+    #[test]
+    fn receives_are_never_hoisted() {
+        // Input anticipation before an output deadlocks (paper Example 2);
+        // the generator does not even propose it.
+        assert!(displays("q!b.p?a.end", false)
+            .iter()
+            .all(|c| !c.starts_with("p?")));
+    }
+}

@@ -2,14 +2,41 @@
 //! mirroring the binary the paper benchmarks with Hyperfine (§4.2).
 //!
 //! ```text
-//! subtype <subtype> <supertype> [--bound N]
+//! subtype <subtype> <supertype> [--bound N] [--json]
 //! ```
 //!
 //! Each argument is either a local-type expression (e.g.
 //! `"rec x . s!ready . s?value . x"`) or `@path` to read one from a file.
 //! Exits 0 when the subtyping holds, 1 when it cannot be shown.
+//!
+//! With `--json` the verdict is emitted as a single machine-readable
+//! object (consumed by the optimiser report and CI):
+//!
+//! ```text
+//! {"verdict": true, "bound": 16, "visited_pairs": 42}
+//! ```
 
 use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: subtype <subtype> <supertype> [options]
+
+Checks whether <subtype> is a sound asynchronous subtype of <supertype>.
+Each positional argument is a local-type expression, or `@path` to read
+one from a file.
+
+options:
+    --bound N   recursion-unrolling bound: how many times each pair of
+                states may be revisited on one derivation path
+                (default: 16); larger bounds verify deeper reorderings
+                at higher cost
+    --json      print one JSON object instead of prose:
+                {\"verdict\": bool, \"bound\": N, \"visited_pairs\": N}
+                where visited_pairs counts the state-pair visits the
+                search performed (its cost metric)
+    -h, --help  show this help
+
+exit codes: 0 subtype holds, 1 not shown, 2 usage or parse error";
 
 fn read_type(arg: &str) -> Result<theory::LocalType, String> {
     let text = if let Some(path) = arg.strip_prefix('@') {
@@ -24,6 +51,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut bound = 16usize;
+    let mut json = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -34,15 +62,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: subtype <subtype> <supertype> [--bound N]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => positional.push(other.to_owned()),
         }
     }
     let [sub, sup] = positional.as_slice() else {
-        eprintln!("usage: subtype <subtype> <supertype> [--bound N]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
@@ -54,18 +83,32 @@ fn main() -> ExitCode {
         }
     };
 
-    match subtyping::is_subtype_local(&sub, &sup, bound) {
-        Ok(true) => {
-            println!("subtype holds (bound {bound})");
-            ExitCode::SUCCESS
-        }
-        Ok(false) => {
-            println!("subtype NOT shown (bound {bound})");
-            ExitCode::FAILURE
-        }
+    let stats = match subtyping::check_with_stats_local(&sub, &sup, bound) {
+        Ok(stats) => stats,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if json {
+        println!(
+            "{{\"verdict\": {}, \"bound\": {}, \"visited_pairs\": {}}}",
+            stats.verdict, stats.bound, stats.visited_pairs
+        );
+    } else if stats.verdict {
+        println!(
+            "subtype holds (bound {bound}, {} state pairs visited)",
+            stats.visited_pairs
+        );
+    } else {
+        println!(
+            "subtype NOT shown (bound {bound}, {} state pairs visited)",
+            stats.visited_pairs
+        );
+    }
+    if stats.verdict {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

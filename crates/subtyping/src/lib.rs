@@ -56,6 +56,61 @@ pub fn is_subtype_local(sub: &LocalType, sup: &LocalType, bound: usize) -> Resul
     Ok(is_subtype(&sub, &sup, bound))
 }
 
+/// Outcome of one instrumented subtyping check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Whether the subtyping was shown to hold.
+    pub verdict: bool,
+    /// The recursion-unrolling bound the check ran with.
+    pub bound: usize,
+    /// State-pair visits performed by the search — the cost metric
+    /// reported by `subtype --json` and the optimiser report.
+    pub visited_pairs: usize,
+}
+
+/// Instrumented variant of [`is_subtype`]: same verdict, plus search
+/// statistics.
+pub fn check_with_stats(sub: &Fsm, sup: &Fsm, bound: usize) -> CheckStats {
+    let (verdict, visited_pairs) = SubtypeVisitor::new(sub, sup, bound).run_counting();
+    CheckStats {
+        verdict,
+        bound,
+        visited_pairs,
+    }
+}
+
+/// Instrumented variant of [`is_subtype_local`]: converts both types with
+/// the same role convention, then runs [`check_with_stats`]. The `subtype`
+/// CLI's `--json` output is this verbatim.
+pub fn check_with_stats_local(
+    sub: &LocalType,
+    sup: &LocalType,
+    bound: usize,
+) -> Result<CheckStats, FsmError> {
+    let role = Name::from("self");
+    let sub = fsm::from_local(&role, sub)?;
+    let sup = fsm::from_local(&role, sup)?;
+    Ok(check_with_stats(&sub, &sup, bound))
+}
+
+/// Bulk candidate checking: verifies many candidate subtypes against one
+/// supertype, returning per-candidate statistics in input order.
+///
+/// This is the entry point the AMR optimiser uses to validate its
+/// generated reorderings — one supertype (the projection), many
+/// candidates. Checks are independent; a candidate failing (or even
+/// being degenerate) never affects its siblings.
+pub fn check_candidates<'a>(
+    candidates: impl IntoIterator<Item = &'a Fsm>,
+    sup: &Fsm,
+    bound: usize,
+) -> Vec<CheckStats> {
+    candidates
+        .into_iter()
+        .map(|sub| check_with_stats(sub, sup, bound))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

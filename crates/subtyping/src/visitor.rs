@@ -26,6 +26,7 @@ pub struct SubtypeVisitor<'a> {
     history: Vec<Previous>,
     prefixes: [Prefix; 2],
     fail_early: bool,
+    visited: usize,
 }
 
 impl<'a> SubtypeVisitor<'a> {
@@ -44,6 +45,7 @@ impl<'a> SubtypeVisitor<'a> {
             ],
             prefixes: [Prefix::new(), Prefix::new()],
             fail_early: true,
+            visited: 0,
         }
     }
 
@@ -62,11 +64,20 @@ impl<'a> SubtypeVisitor<'a> {
         self.visit(self.sub.initial(), self.sup.initial())
     }
 
+    /// Like [`run`](Self::run), but also reports how many state-pair
+    /// visits the search performed — the work metric surfaced by
+    /// `subtype --json` and the optimiser report.
+    pub fn run_counting(mut self) -> (bool, usize) {
+        let verdict = self.visit(self.sub.initial(), self.sup.initial());
+        (verdict, self.visited)
+    }
+
     fn entry(&self, sub_state: StateIndex, sup_state: StateIndex) -> usize {
         sub_state.0 * self.sup.len() + sup_state.0
     }
 
     fn visit(&mut self, sub_state: StateIndex, sup_state: StateIndex) -> bool {
+        self.visited += 1;
         // (1) Bound check ([μl]/[μr] with n = 0): each state pair may be
         // visited at most `bound` times along one derivation path.
         let entry = self.entry(sub_state, sup_state);

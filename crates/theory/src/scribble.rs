@@ -20,7 +20,8 @@
 //! *template*: parsing yields a [`Template`], and [`Template::instantiate`]
 //! turns it into a concrete [`Protocol`] once every parameter (`n` above)
 //! is bound to an integer. Index expressions over parameters and `foreach`
-//! variables support literals, variables, `+` and `-`. `foreach` expands
+//! variables support literals, variables, `+`, `-` and `*` (so non-linear
+//! strides like `w[2*i]`/`w[2*i-1]` work). `foreach` expands
 //! its body once per index value (inclusive bounds, empty when `lo > hi`)
 //! and may contain only message statements and nested `foreach`s, so the
 //! expansion is a straight-line splice.
@@ -93,6 +94,8 @@ pub enum IndexExpr {
     Add(Box<IndexExpr>, Box<IndexExpr>),
     /// Difference of two expressions.
     Sub(Box<IndexExpr>, Box<IndexExpr>),
+    /// Product of two expressions (`2*i` role strides).
+    Mul(Box<IndexExpr>, Box<IndexExpr>),
 }
 
 impl IndexExpr {
@@ -105,6 +108,7 @@ impl IndexExpr {
                 .ok_or_else(|| ScribbleError::unpositioned(format!("unbound parameter `{var}`"))),
             IndexExpr::Add(left, right) => Ok(left.eval(env)? + right.eval(env)?),
             IndexExpr::Sub(left, right) => Ok(left.eval(env)? - right.eval(env)?),
+            IndexExpr::Mul(left, right) => Ok(left.eval(env)? * right.eval(env)?),
         }
     }
 
@@ -114,7 +118,9 @@ impl IndexExpr {
             IndexExpr::Var(var) => {
                 out.insert(var.clone());
             }
-            IndexExpr::Add(left, right) | IndexExpr::Sub(left, right) => {
+            IndexExpr::Add(left, right)
+            | IndexExpr::Sub(left, right)
+            | IndexExpr::Mul(left, right) => {
                 left.free_vars(out);
                 right.free_vars(out);
             }
@@ -129,6 +135,17 @@ impl fmt::Display for IndexExpr {
             IndexExpr::Var(var) => write!(f, "{var}"),
             IndexExpr::Add(left, right) => write!(f, "{left}+{right}"),
             IndexExpr::Sub(left, right) => write!(f, "{left}-{right}"),
+            IndexExpr::Mul(left, right) => {
+                fn factor(expr: &IndexExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    match expr {
+                        IndexExpr::Add(..) | IndexExpr::Sub(..) => write!(f, "({expr})"),
+                        other => write!(f, "{other}"),
+                    }
+                }
+                factor(left, f)?;
+                f.write_str("*")?;
+                factor(right, f)
+            }
         }
     }
 }
@@ -491,6 +508,7 @@ enum Token {
     DotDot,
     Plus,
     Minus,
+    Star,
 }
 
 #[derive(Clone, Debug)]
@@ -558,7 +576,7 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
                     column: token_column,
                 });
             }
-            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '+' | '-' => {
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '+' | '-' | '*' => {
                 chars.next();
                 column += 1;
                 let token = match c {
@@ -571,6 +589,7 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ScribbleError> {
                     ';' => Token::Semi,
                     '+' => Token::Plus,
                     '-' => Token::Minus,
+                    '*' => Token::Star,
                     _ => Token::Comma,
                 };
                 tokens.push(Spanned {
@@ -753,24 +772,36 @@ impl Parser<'_> {
         Ok(Template { name, roles, body })
     }
 
-    /// Parses `expr (+|-) expr ...`, left-associative.
+    /// Parses `product (+|-) product ...`, left-associative; `*` binds
+    /// tighter than `+`/`-`, so `2*i-1` strides over odd indices.
     fn parse_index_expr(&mut self) -> Result<IndexExpr, ScribbleError> {
-        let mut expr = self.parse_index_term()?;
+        let mut expr = self.parse_index_product()?;
         loop {
             match self.peek() {
                 Some(Token::Plus) => {
                     self.position += 1;
-                    let right = self.parse_index_term()?;
+                    let right = self.parse_index_product()?;
                     expr = IndexExpr::Add(Box::new(expr), Box::new(right));
                 }
                 Some(Token::Minus) => {
                     self.position += 1;
-                    let right = self.parse_index_term()?;
+                    let right = self.parse_index_product()?;
                     expr = IndexExpr::Sub(Box::new(expr), Box::new(right));
                 }
                 _ => return Ok(expr),
             }
         }
+    }
+
+    /// Parses `term (* term) ...`, left-associative.
+    fn parse_index_product(&mut self) -> Result<IndexExpr, ScribbleError> {
+        let mut expr = self.parse_index_term()?;
+        while self.peek() == Some(&Token::Star) {
+            self.position += 1;
+            let right = self.parse_index_term()?;
+            expr = IndexExpr::Mul(Box::new(expr), Box::new(right));
+        }
+        Ok(expr)
     }
 
     /// Every variable of `expr` must be a template parameter or an
@@ -1147,6 +1178,74 @@ mod tests {
                 ),
             )
         );
+    }
+
+    #[test]
+    fn non_linear_index_expressions_instantiate() {
+        // `2*i` / `i*2-1` strides: a coordinator gathers from the odd and
+        // even member of each pair.
+        let source = r#"
+            global protocol Gather(role c, role w[1..2*n]) {
+                foreach i in 1..n {
+                    odd() from w[i*2-1] to c;
+                    even() from w[2*i] to c;
+                }
+            }
+        "#;
+        let template = parse_template(source).unwrap();
+        assert_eq!(template.params(), [Name::from("n")].into_iter().collect());
+        let protocol = template.instantiate(&bind(&[("n", 2)])).unwrap();
+        assert_eq!(
+            protocol.roles,
+            ["c", "w1", "w2", "w3", "w4"].map(Name::from).to_vec()
+        );
+        assert_eq!(
+            protocol.body,
+            GlobalType::message(
+                "w1",
+                "c",
+                "odd",
+                Sort::Unit,
+                GlobalType::message(
+                    "w2",
+                    "c",
+                    "even",
+                    Sort::Unit,
+                    GlobalType::message(
+                        "w3",
+                        "c",
+                        "odd",
+                        Sort::Unit,
+                        GlobalType::message("w4", "c", "even", Sort::Unit, GlobalType::End),
+                    ),
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn star_binds_tighter_than_additive_operators() {
+        let tokens = lex("2*i-1+n*2").unwrap();
+        let mut parser = Parser {
+            tokens: &tokens,
+            position: 0,
+            singles: BTreeSet::new(),
+            families: BTreeSet::new(),
+            index_vars: Vec::new(),
+        };
+        let expr = parser.parse_index_expr().unwrap();
+        assert_eq!(expr.to_string(), "2*i-1+n*2");
+        let env: Bindings = bind(&[("i", 3), ("n", 5)]);
+        assert_eq!(expr.eval(&env).unwrap(), 2 * 3 - 1 + 5 * 2);
+        // Display parenthesises additive factors it would otherwise lose.
+        let product = IndexExpr::Mul(
+            Box::new(IndexExpr::Add(
+                Box::new(IndexExpr::Lit(1)),
+                Box::new(IndexExpr::Var(Name::from("i"))),
+            )),
+            Box::new(IndexExpr::Lit(2)),
+        );
+        assert_eq!(product.to_string(), "(1+i)*2");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! The k-buffering pipeline with the AMR optimise pass: session types,
+//! process skeletons and `main` are all the **unedited output** of
+//!
+//! ```text
+//! rumpsteak-gen crates/codegen/tests/protocols/kbuffering_opt.scr \
+//!     --param n=4 --skeleton --optimise
+//! ```
+//!
+//! pinned byte-for-byte as `crates/codegen/tests/goldens/kbuffering_opt.rs`
+//! and spliced in below. Compared to its unoptimised sibling
+//! (`generated_kbuffering`), the source's value/stop decision has been
+//! hoisted above its `ready` receive by the optimiser — a reordering
+//! proven safe by the sound asynchronous subtyping algorithm — so the
+//! source streams values without blocking on downstream flow control.
+//!
+//! ```text
+//! cargo run --example generated_kbuffering_opt
+//! ```
+
+include!("../crates/codegen/tests/goldens/kbuffering_opt.rs");
