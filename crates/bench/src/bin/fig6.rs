@@ -24,8 +24,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use bench::protocols::{double_buffering, fft8, streaming};
-use bench::scaling;
 use bench::timing::{measure, throughput};
+use bench::{channels, scaling};
 
 const BUDGET: Duration = Duration::from_millis(300);
 const MAX_RUNS: usize = 50;
@@ -114,6 +114,9 @@ fn emit_json(quick: bool, out_path: Option<String>) {
     // under a millisecond, so identical sizes cost quick mode nothing).
     let (ring_tasks, ring_laps, mesh_peers, mesh_rounds, stream_n, buffer_n, fft_n) =
         (64, 100, 12, 50, 50, 10000, 1000);
+    // Channel-layer microbenches: rounds per ping-pong run, messages per
+    // burst run (see `bench::channels`).
+    let (chan_rounds, chan_burst) = (2000u32, 20000u32);
     // Template-generated topologies (pring.scr / pmesh.scr), instantiated
     // once per sweep: the projection cost is setup, not measured time.
     let gen_ring = scaling::generated::GeneratedRing::new(ring_tasks);
@@ -165,6 +168,33 @@ fn emit_json(quick: bool, out_path: Option<String>) {
                 gen_mesh.run(&rt, mesh_rounds);
             },
         );
+        // Channel layer: one op = one SPSC/MPSC round trip (ping-pong)
+        // or one delivered message (burst). The MPSC row is the
+        // mutex-channel baseline the lock-free ring must beat.
+        bench(
+            "channel_spsc_pingpong",
+            format!("\"rounds\": {chan_rounds}"),
+            u64::from(chan_rounds),
+            &mut || {
+                channels::spsc_ping_pong(&rt, chan_rounds);
+            },
+        );
+        bench(
+            "channel_mpsc_pingpong",
+            format!("\"rounds\": {chan_rounds}"),
+            u64::from(chan_rounds),
+            &mut || {
+                channels::mpsc_ping_pong(&rt, chan_rounds);
+            },
+        );
+        bench(
+            "channel_spsc_burst",
+            format!("\"messages\": {chan_burst}"),
+            u64::from(chan_burst),
+            &mut || {
+                channels::spsc_burst(&rt, chan_burst);
+            },
+        );
         bench(
             "streaming",
             format!("\"n\": {stream_n}"),
@@ -196,6 +226,22 @@ fn emit_json(quick: bool, out_path: Option<String>) {
         bench("fft", format!("\"n\": {fft_n}"), fft_n as u64, &mut || {
             fft8::run_rumpsteak(&rt, fft_n);
         });
+    }
+
+    // Smoke assertion (runs in `--quick` CI too): the channel-layer rows
+    // must populate with real timings, so a refactor that silently drops
+    // the SPSC sweep cannot pass the gate by omission.
+    for required in [
+        "channel_spsc_pingpong",
+        "channel_mpsc_pingpong",
+        "channel_spsc_burst",
+    ] {
+        assert!(
+            results
+                .iter()
+                .any(|r| r.protocol == required && r.ns_per_op.is_finite() && r.ns_per_op > 0.0),
+            "fig6 --json produced no timing for the `{required}` row"
+        );
     }
 
     let mut out = String::new();

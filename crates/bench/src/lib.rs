@@ -10,6 +10,9 @@
 //! * [`scaling`] — executor-scaling workloads (token ring, all-to-all
 //!   mesh) behind `fig6 --json`, which tracks scheduler throughput per
 //!   protocol × thread count in `BENCH_fig6.json`,
+//! * [`channels`] — channel-layer microbenchmarks (SPSC ping-pong and
+//!   burst throughput vs the mutex-MPSC baseline), also swept by
+//!   `fig6 --json`,
 //! * [`table1`] — the expressiveness matrix of Table 1,
 //! * [`timing`] — a small wall-clock harness used by the `fig6`/`fig7`
 //!   binaries to print the same rows as Appendix C.
@@ -17,6 +20,7 @@
 //! Criterion benches under `benches/` regenerate each figure; the
 //! `fig6`, `fig7` and `table1` binaries print the corresponding tables.
 
+pub mod channels;
 pub mod protocols;
 pub mod scaling;
 pub mod table1;

@@ -5,20 +5,27 @@
 //! runtime store one endpoint per peer; creating the full mesh once per
 //! program and reusing it across sessions is the channel-reuse optimisation
 //! described in §2.1 of the paper.
+//!
+//! Because each direction has exactly one producer (this endpoint) and one
+//! consumer (the peer), both queues are the lock-free [`spsc`] rings: a
+//! send is a slot write plus a release store, a receive never takes a
+//! lock, and the waker handoff feeds straight into the scheduler's
+//! LIFO-slot direct-handoff path.
 
-use super::unbounded::{unbounded, Receiver, SendError, Sender};
+use super::spsc::{spsc, SpscReceiver, SpscSender};
+use super::SendError;
 
 /// One endpoint of a bidirectional link between two fixed peers.
 pub struct Bidirectional<T> {
-    tx: Sender<T>,
-    rx: Receiver<T>,
+    tx: SpscSender<T>,
+    rx: SpscReceiver<T>,
 }
 
 impl<T> Bidirectional<T> {
     /// Creates both endpoints of a fresh link.
     pub fn pair() -> (Self, Self) {
-        let (a_to_b_tx, a_to_b_rx) = unbounded();
-        let (b_to_a_tx, b_to_a_rx) = unbounded();
+        let (a_to_b_tx, a_to_b_rx) = spsc();
+        let (b_to_a_tx, b_to_a_rx) = spsc();
         (
             Self {
                 tx: a_to_b_tx,
@@ -31,7 +38,7 @@ impl<T> Bidirectional<T> {
         )
     }
 
-    /// Enqueues a message for the peer. Non-blocking.
+    /// Enqueues a message for the peer. Non-blocking and lock-free.
     pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
         self.tx.send(value)
     }
@@ -85,5 +92,13 @@ mod tests {
             assert_eq!(b.recv().await, Some(11));
             assert_eq!(a.recv().await, Some(20));
         });
+    }
+
+    #[test]
+    fn dropping_one_endpoint_closes_both_directions() {
+        let (mut a, b) = Bidirectional::pair();
+        drop(b);
+        assert!(a.send(1u8).is_err());
+        assert_eq!(crate::block_on(a.recv()), None);
     }
 }

@@ -8,7 +8,7 @@ use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
 
-use super::unbounded::SendError;
+use super::SendError;
 
 struct State<T> {
     queue: VecDeque<T>,

@@ -1,27 +1,65 @@
 //! Asynchronous channels used as the session transport.
 //!
-//! Three families, mirroring what Rumpsteak needs from Tokio/futures:
+//! Four families, mirroring what Rumpsteak needs from Tokio/futures:
 //!
-//! * [`unbounded`] — multi-producer single-consumer FIFO with non-blocking
-//!   sends. This is the default transport behind session channels: sends
-//!   enqueue into the peer's queue (the "asynchronous queue" of the paper)
-//!   and never block, which is what makes asynchronous message reordering
+//! * [`spsc`] — lock-free single-producer/single-consumer queue: a
+//!   growable power-of-two ring with an atomic waker handoff. This is the
+//!   data plane of session links: every [`Bidirectional`] direction has
+//!   exactly one producer and one consumer by construction, so no send or
+//!   receive on a session channel ever takes a lock.
+//! * [`unbounded`] — **multi**-producer single-consumer FIFO with
+//!   non-blocking sends, for the places senders are genuinely cloned
+//!   (fan-in workloads, baseline comparisons). Sends enqueue into the
+//!   peer's queue (the "asynchronous queue" of the paper) and never
+//!   block, which is what makes asynchronous message reordering
 //!   profitable.
 //! * [`bounded`] — like `unbounded` but with a capacity; `send` is a future
 //!   that waits for space. Used to model back-pressured links.
 //! * [`oneshot`] — single-value rendezvous used by join handles and
-//!   request/response patterns.
+//!   request/response patterns, implemented as a small atomic state
+//!   machine.
 //!
-//! [`Bidirectional`] bundles a sender and a receiver between two fixed
-//! peers; one call to [`Bidirectional::pair`] yields both endpoints. Role
-//! structs in the session runtime store one `Bidirectional` per peer.
+//! [`Bidirectional`] bundles an SPSC sender and receiver between two
+//! fixed peers; one call to [`Bidirectional::pair`] yields both
+//! endpoints. Role structs in the session runtime store one
+//! `Bidirectional` per peer.
+
+use std::fmt;
 
 mod bidirectional;
 mod bounded;
 mod oneshot;
+mod spsc;
 mod unbounded;
 
 pub use bidirectional::Bidirectional;
 pub use bounded::{bounded, BoundedReceiver, BoundedSender};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
-pub use unbounded::{unbounded, Receiver, SendError, Sender};
+pub use spsc::{spsc, SpscReceiver, SpscRecv, SpscSender};
+pub use unbounded::{unbounded, Receiver, Sender};
+
+/// Error returned by the non-blocking `send` operations when the receiver
+/// has been dropped. Carries the rejected message so the caller can
+/// recover it.
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Recovers the rejected message.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SendError").field(&self.0).finish()
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}

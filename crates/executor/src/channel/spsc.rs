@@ -1,0 +1,570 @@
+//! Lock-free single-producer/single-consumer channel.
+//!
+//! This is the data plane behind [`Bidirectional`](super::Bidirectional)
+//! session links: a link connects exactly two fixed peers, so each
+//! direction has one producer and one consumer by construction and never
+//! needs the mutex-protected MPSC machinery of [`unbounded`](super::unbounded).
+//!
+//! # Design
+//!
+//! * **Growable power-of-two ring.** `head` and `tail` are monotonically
+//!   increasing `usize` counters; a value with logical index `i` lives in
+//!   slot `i & (cap - 1)`. The producer caches `head` and the consumer
+//!   caches `tail`, so the uncontended fast paths touch the shared
+//!   counters only to publish their own side (one release store each) and
+//!   re-read the opposite counter only when the cached copy says
+//!   full/empty (the classic cached-index SPSC optimisation).
+//! * **Epoch-free growth.** When the ring fills, the producer allocates a
+//!   doubled buffer, copies the live range (logical indices keep their
+//!   values, only the mask changes), publishes it with a release store and
+//!   *retires* the old buffer onto an intrusive chain instead of freeing
+//!   it. A consumer that raced the growth keeps reading the old buffer —
+//!   frozen by the producer from that point on — and picks up the new one
+//!   the next time it refreshes its cached `tail`. Retired buffers are
+//!   freed when the channel drops; the waste is a geometric series below
+//!   one live buffer's size.
+//! * **Atomic waker handoff.** Blocking `recv` coordinates through a
+//!   four-state machine (`EMPTY` / `LOCKED` / `WAITING` / `WAKING`) plus
+//!   a waker cell. The waker is *persistent*: the producer wakes it by
+//!   reference under the `WAKING` state rather than taking it, and the
+//!   consumer keeps a private mirror so that on the next empty poll a
+//!   `will_wake` hit re-arms with a single CAS (`EMPTY` → `WAITING`) —
+//!   no waker clone, no cell write. Only a genuinely different waker
+//!   (task migration) pays for the `LOCKED` cell replacement. The
+//!   producer, after publishing a value, executes a `SeqCst` fence and
+//!   peeks at the state with a relaxed load — only when it observes a
+//!   (possible) waiter does it pay for the CAS that claims the cell for
+//!   waking. The consumer mirrors the fence between publishing `WAITING`
+//!   and re-checking the queue, the same Dekker-style store/load
+//!   handshake as the scheduler's sleep protocol, so a wake can never be
+//!   lost. An uncontended send is therefore one slot write, one release
+//!   store and one fence; `recv` never takes a lock in any state.
+
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::mem::MaybeUninit;
+use std::pin::Pin;
+use std::ptr;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU8, AtomicUsize};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use super::SendError;
+
+/// Initial ring capacity (power of two). Small on purpose: session links
+/// are created per role pair, and most carry only a few in-flight labels.
+const MIN_CAP: usize = 16;
+
+/// Not armed. The cell may still hold a disarmed waker from an earlier
+/// round, which the consumer re-arms cheaply when `will_wake` matches.
+const WAKER_EMPTY: u8 = 0;
+/// The consumer is replacing the cell's waker; the producer keeps out.
+const WAKER_LOCKED: u8 = 1;
+/// Armed: the cell holds a live waker the producer may claim for waking.
+const WAKER_WAITING: u8 = 2;
+/// The producer is waking the cell's waker *by reference*; the consumer
+/// must not mutate the cell until the producer stores `EMPTY`.
+const WAKER_WAKING: u8 = 3;
+
+/// A fixed-capacity circular buffer plus the chain of buffers it replaced.
+///
+/// Slots are bare `MaybeUninit` cells: which logical indices hold live
+/// values is tracked externally by `head`/`tail`.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Power-of-two capacity; `cap - 1` is the index mask.
+    cap: usize,
+    /// The buffer this one replaced, kept allocated (never read through)
+    /// until the channel drops so a consumer racing a growth still reads
+    /// valid memory.
+    retired: *mut Buffer<T>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize, retired: *mut Buffer<T>) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Self {
+            slots,
+            cap,
+            retired,
+        })
+    }
+
+    fn slot(&self, index: usize) -> *mut MaybeUninit<T> {
+        self.slots[index & (self.cap - 1)].get()
+    }
+}
+
+/// State shared by the two endpoints.
+struct Inner<T> {
+    /// Consumer index: the next logical index to pop. Written only by the
+    /// consumer (release), read by the producer (acquire) on the slow path.
+    head: AtomicUsize,
+    /// Producer index: one past the last published value. Written only by
+    /// the producer (release), read by the consumer (acquire) on refresh.
+    tail: AtomicUsize,
+    /// The live ring buffer; retired predecessors hang off its chain.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Waker-handoff state machine (`WAKER_*`).
+    waker_state: AtomicU8,
+    /// Guarded by `waker_state`: mutated by the consumer under `LOCKED`,
+    /// read (and woken by reference, never taken) by the producer under
+    /// `WAKING`. Persists across rounds so re-arming is cell-free.
+    waker: UnsafeCell<Option<Waker>>,
+    /// Cleared by `Sender::drop`; pushes happen-before via release/acquire.
+    tx_alive: AtomicBool,
+    /// Cleared by `Receiver::drop`; later sends fail fast.
+    rx_alive: AtomicBool,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole remaining reference: indices are quiescent. Live values
+        // exist exactly once in the *current* buffer (growth copies them
+        // forward; stale bit-copies in retired buffers are never dropped).
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut buffer = *self.buffer.get_mut();
+        let current = unsafe { Box::from_raw(buffer) };
+        for index in head..tail {
+            unsafe { (*current.slot(index)).assume_init_drop() };
+        }
+        buffer = current.retired;
+        while !buffer.is_null() {
+            let retired = unsafe { Box::from_raw(buffer) };
+            buffer = retired.retired;
+        }
+    }
+}
+
+/// Creates a lock-free SPSC channel. Neither endpoint is cloneable; use
+/// [`unbounded`](super::unbounded) where multiple producers are needed.
+pub fn spsc<T>() -> (SpscSender<T>, SpscReceiver<T>) {
+    let buffer = Box::into_raw(Buffer::alloc(MIN_CAP, ptr::null_mut()));
+    let inner = Arc::new(Inner {
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        buffer: AtomicPtr::new(buffer),
+        waker_state: AtomicU8::new(WAKER_EMPTY),
+        waker: UnsafeCell::new(None),
+        tx_alive: AtomicBool::new(true),
+        rx_alive: AtomicBool::new(true),
+    });
+    (
+        SpscSender {
+            inner: inner.clone(),
+            buffer,
+            cap: MIN_CAP,
+            tail: 0,
+            cached_head: 0,
+        },
+        SpscReceiver {
+            inner,
+            buffer,
+            head: 0,
+            cached_tail: 0,
+            armed_waker: None,
+        },
+    )
+}
+
+/// Producer half of an SPSC channel. Not cloneable.
+pub struct SpscSender<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer's view of the live buffer; only the producer replaces it.
+    buffer: *mut Buffer<T>,
+    cap: usize,
+    /// Mirror of `inner.tail` (only the producer advances it).
+    tail: usize,
+    /// Last observed `inner.head`; always <= the true head, so staleness
+    /// only ever makes the full check conservative.
+    cached_head: usize,
+}
+
+unsafe impl<T: Send> Send for SpscSender<T> {}
+
+impl<T> SpscSender<T> {
+    /// Publishes a message and hands the peer's waker to the scheduler if
+    /// the peer is waiting. Never blocks; fails only when the receiver is
+    /// gone.
+    pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
+        if !self.inner.rx_alive.load(Acquire) {
+            return Err(SendError(value));
+        }
+        if self.tail - self.cached_head == self.cap {
+            self.cached_head = self.inner.head.load(Acquire);
+            if self.tail - self.cached_head == self.cap {
+                self.grow();
+            }
+        }
+        // Safety: slot `tail` is outside the live range `[head, tail)`,
+        // so the consumer is not reading it; the release store below
+        // publishes the write.
+        unsafe { ptr::write((*self.buffer).slot(self.tail), MaybeUninit::new(value)) };
+        self.tail += 1;
+        self.inner.tail.store(self.tail, Release);
+
+        // Dekker handshake with `SpscReceiver::register`: order the tail
+        // publication before the waker-state read, so either we observe
+        // the waiter or the waiter's queue re-check observes our value.
+        fence(SeqCst);
+        if self.inner.waker_state.load(Relaxed) != WAKER_EMPTY {
+            self.inner.wake_receiver();
+        }
+        Ok(())
+    }
+
+    /// True if the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.inner.rx_alive.load(Acquire)
+    }
+
+    /// Doubles the ring, copying the live range into the new buffer at
+    /// unchanged logical indices, and retires the old buffer (the consumer
+    /// may still be reading it). Producer only.
+    #[cold]
+    fn grow(&mut self) {
+        let old = self.buffer;
+        let new = Buffer::alloc(self.cap * 2, old);
+        for index in self.cached_head..self.tail {
+            // A bit-copy, not a move: if the consumer pops index `i`
+            // concurrently, it owns the value and the copy in the new
+            // buffer is simply never read (nor dropped: `Inner::drop`
+            // only drops `[head, tail)`).
+            unsafe { ptr::copy_nonoverlapping((*old).slot(index), new.slot(index), 1) };
+        }
+        let new = Box::into_raw(new);
+        self.inner.buffer.store(new, Release);
+        self.buffer = new;
+        self.cap *= 2;
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.inner.tx_alive.store(false, Release);
+        // Same handshake as `send`: the closure must not be missed by a
+        // receiver that just went to sleep.
+        fence(SeqCst);
+        if self.inner.waker_state.load(Relaxed) != WAKER_EMPTY {
+            self.inner.wake_receiver();
+        }
+    }
+}
+
+impl<T> Inner<T> {
+    /// Wakes the armed waker (if any) by reference. Shared by `send` and
+    /// the sender's drop.
+    #[cold]
+    fn wake_receiver(&self) {
+        // WAITING -> WAKING claims read access to the cell; a failure
+        // means either no armed waiter (EMPTY) or the consumer is
+        // mid-registration (LOCKED) — and a registering consumer always
+        // re-checks the queue after publishing WAITING, so skipping the
+        // wake is safe.
+        if self
+            .waker_state
+            .compare_exchange(WAKER_WAITING, WAKER_WAKING, SeqCst, SeqCst)
+            .is_ok()
+        {
+            // Safety: WAKING keeps the consumer out of the cell; the
+            // waker stays in place so the next round can re-arm it
+            // without a clone.
+            if let Some(waker) = unsafe { (*self.waker.get()).as_ref() } {
+                // On a worker thread this lands the receiver task in the
+                // sender's LIFO slot — the scheduler's direct-handoff
+                // path — rather than a shared queue.
+                waker.wake_by_ref();
+            }
+            self.waker_state.store(WAKER_EMPTY, SeqCst);
+        }
+    }
+}
+
+/// Consumer half of an SPSC channel. Not cloneable.
+pub struct SpscReceiver<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer's view of the buffer: valid for indices `< cached_tail`
+    /// (refreshed together with `cached_tail`, *after* it, so the buffer
+    /// is at least as fresh as any growth covering those indices).
+    buffer: *mut Buffer<T>,
+    /// Mirror of `inner.head` (only the consumer advances it).
+    head: usize,
+    /// Last observed `inner.tail`.
+    cached_tail: usize,
+    /// Private mirror of the waker stored in the shared cell. The
+    /// producer never replaces the cell's contents, so this is always
+    /// accurate and lets `register` decide via `will_wake` — without
+    /// touching the cell — whether a one-CAS re-arm suffices.
+    armed_waker: Option<Waker>,
+}
+
+unsafe impl<T: Send> Send for SpscReceiver<T> {}
+
+impl<T> SpscReceiver<T> {
+    /// Non-blocking receive: pops the next message if one is published.
+    pub fn try_recv(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.inner.tail.load(Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+            // Reload *after* tail: seeing tail = t (acquire) makes every
+            // producer write before that store visible, including any
+            // buffer replacement covering indices < t.
+            self.buffer = self.inner.buffer.load(Acquire);
+        }
+        // Safety: `head < cached_tail`, so the slot holds a published
+        // value the producer will not touch again, and `self.buffer` is
+        // fresh enough to contain every index below `cached_tail`.
+        let value = unsafe { ptr::read((*self.buffer).slot(self.head)).assume_init() };
+        self.head += 1;
+        // Release: the slot read above must complete before the producer
+        // can observe the new head and reuse the slot.
+        self.inner.head.store(self.head, Release);
+        Some(value)
+    }
+
+    /// Awaits the next message; resolves to `None` once the sender is gone
+    /// and the queue is drained.
+    pub fn recv(&mut self) -> SpscRecv<'_, T> {
+        SpscRecv { receiver: self }
+    }
+
+    /// Poll-based receive for hand-written futures: `Ready(None)` once the
+    /// sender is gone and the queue is drained. Lock-free in every state.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        if let Some(value) = self.try_recv() {
+            return Poll::Ready(Some(value));
+        }
+        self.register(cx.waker());
+        // Dekker handshake with `SpscSender::send`/`drop` (see `register`):
+        // re-check both the queue and the closed flag now that WAITING is
+        // published, so a concurrent publication cannot slip between our
+        // first check and the registration.
+        if let Some(value) = self.try_recv() {
+            self.unregister();
+            return Poll::Ready(Some(value));
+        }
+        if !self.inner.tx_alive.load(Acquire) {
+            // The closure store is release-ordered after the final tail
+            // store, so one more pop attempt observes any last messages.
+            let value = self.try_recv();
+            self.unregister();
+            return Poll::Ready(value);
+        }
+        Poll::Pending
+    }
+
+    /// Number of messages currently queued (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner
+            .tail
+            .load(Acquire)
+            .saturating_sub(self.inner.head.load(Relaxed))
+    }
+
+    /// True when no messages are queued (a racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arms the handoff with `waker` and publishes `WAITING` followed by
+    /// a `SeqCst` fence.
+    ///
+    /// Fast path: the cell already holds an equivalent waker (the
+    /// producer wakes by reference and never clears the cell), so arming
+    /// is a single `EMPTY -> WAITING` CAS — no clone, no cell access.
+    /// Only a different waker (the receiver moved to another task) pays
+    /// for the `LOCKED` replacement.
+    fn register(&mut self, waker: &Waker) {
+        let inner = &*self.inner;
+        if self
+            .armed_waker
+            .as_ref()
+            .is_some_and(|armed| armed.will_wake(waker))
+        {
+            loop {
+                match inner
+                    .waker_state
+                    .compare_exchange(WAKER_EMPTY, WAKER_WAITING, SeqCst, SeqCst)
+                {
+                    Ok(_) => break,
+                    // Still armed from a previous Pending poll.
+                    Err(WAKER_WAITING) => break,
+                    // Producer mid-wake (of this very waker): wait out its
+                    // short read-and-store section, then re-arm.
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+            fence(SeqCst);
+            return;
+        }
+        loop {
+            match inner
+                .waker_state
+                .compare_exchange(WAKER_EMPTY, WAKER_LOCKED, SeqCst, SeqCst)
+            {
+                Ok(_) => break,
+                Err(WAKER_WAITING) => {
+                    // A stale waker is still armed; disarm it so the cell
+                    // can be replaced. A failure means the producer just
+                    // entered WAKING; keep looping.
+                    if inner
+                        .waker_state
+                        .compare_exchange(WAKER_WAITING, WAKER_LOCKED, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+                // Producer mid-wake: its critical section is a read plus
+                // a store, so spin it out rather than losing this waker.
+                Err(_) => std::hint::spin_loop(),
+            }
+        }
+        // Safety: LOCKED grants cell ownership.
+        unsafe { *inner.waker.get() = Some(waker.clone()) };
+        self.armed_waker = Some(waker.clone());
+        inner.waker_state.store(WAKER_WAITING, SeqCst);
+        fence(SeqCst);
+    }
+
+    /// Best-effort disarm after a late value was found; the waker stays
+    /// in the cell for cheap re-arming. Losing the race is fine: the
+    /// producer then delivers one spurious (self-)wake, which poll
+    /// semantics permit.
+    fn unregister(&mut self) {
+        let _ = self
+            .inner
+            .waker_state
+            .compare_exchange(WAKER_WAITING, WAKER_EMPTY, SeqCst, SeqCst);
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        // Later sends fail fast; a send racing this store may still land
+        // in the queue, where `Inner::drop` reclaims it.
+        self.inner.rx_alive.store(false, Release);
+    }
+}
+
+/// Future returned by [`SpscReceiver::recv`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct SpscRecv<'a, T> {
+    receiver: &'a mut SpscReceiver<T>,
+}
+
+impl<T> Future for SpscRecv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().receiver.poll_recv(cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved_across_growth() {
+        let (mut tx, mut rx) = spsc();
+        for i in 0..(MIN_CAP * 8) {
+            tx.send(i).unwrap();
+        }
+        for i in 0..(MIN_CAP * 8) {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (mut tx, mut rx) = spsc();
+        for lap in 0..100u32 {
+            for i in 0..(MIN_CAP as u32 - 1) {
+                tx.send(lap * 1000 + i).unwrap();
+            }
+            for i in 0..(MIN_CAP as u32 - 1) {
+                assert_eq!(rx.try_recv(), Some(lap * 1000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn recv_none_after_sender_drop() {
+        let (mut tx, mut rx) = spsc::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        crate::block_on(async {
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let (mut tx, rx) = spsc::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn cross_task_wakeup() {
+        let rt = crate::Runtime::new(2);
+        let (mut tx, mut rx) = spsc::<u32>();
+        let consumer = rt.spawn(async move {
+            let mut sum = 0;
+            while let Some(v) = rx.recv().await {
+                sum += v;
+            }
+            sum
+        });
+        let producer = rt.spawn(async move {
+            for i in 1..=10 {
+                tx.send(i).unwrap();
+                crate::yield_now().await;
+            }
+        });
+        rt.block_on(producer).unwrap();
+        assert_eq!(rt.block_on(consumer).unwrap(), 55);
+    }
+
+    #[test]
+    fn queued_values_dropped_exactly_once() {
+        let value = Arc::new(());
+        let (mut tx, mut rx) = spsc();
+        for _ in 0..(MIN_CAP * 3) {
+            tx.send(value.clone()).unwrap();
+        }
+        // Pop a few across the growth boundary, then drop the channel
+        // with values still queued.
+        for _ in 0..5 {
+            assert!(rx.try_recv().is_some());
+        }
+        assert_eq!(Arc::strong_count(&value), 1 + MIN_CAP * 3 - 5);
+        drop((tx, rx));
+        assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let (mut tx, mut rx) = spsc();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.try_recv();
+        assert_eq!(rx.len(), 1);
+    }
+}

@@ -1,7 +1,10 @@
 //! Unbounded MPSC channel with waker-based notification.
+//!
+//! This is the *multi-producer* channel: senders are cloneable, so the
+//! queue is guarded by a mutex. Fixed role-pair session links never need
+//! that and use the lock-free [`spsc`](super::spsc) queue instead.
 
 use std::collections::VecDeque;
-use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
@@ -9,21 +12,7 @@ use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
 
-/// Error returned by [`Sender::send`] when the receiver has been dropped.
-/// Carries the rejected message so the caller can recover it.
-pub struct SendError<T>(pub T);
-
-impl<T> fmt::Debug for SendError<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("SendError(..)")
-    }
-}
-
-impl<T> fmt::Display for SendError<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("sending on a closed channel")
-    }
-}
+use super::SendError;
 
 struct State<T> {
     queue: VecDeque<T>,

@@ -35,8 +35,14 @@ pub(crate) struct Completer<T> {
 
 impl<T> Completer<T> {
     pub(crate) fn complete(self, value: T) {
+        // Move the Arc out without running Drop (which would re-lock for
+        // the close-without-value path); forgetting `self` directly would
+        // leak one strong reference — and therefore the slot — per task.
+        // Safety: `self` is forgotten immediately after the read.
+        let slot = unsafe { std::ptr::read(&self.slot) };
+        std::mem::forget(self);
         let waker = {
-            let mut slot = self.slot.lock();
+            let mut slot = slot.lock();
             slot.value = Some(value);
             slot.closed = true;
             slot.waker.take()
@@ -44,8 +50,6 @@ impl<T> Completer<T> {
         if let Some(waker) = waker {
             waker.wake();
         }
-        // Skip the Drop impl's close-without-value path.
-        std::mem::forget(self);
     }
 }
 

@@ -9,8 +9,9 @@
 //! * a **work-stealing scheduler** (one local deque per worker plus a global
 //!   injector, in the style of Tokio/Rayon),
 //! * waker-based **asynchronous channels** ([`channel`]) used as the session
-//!   transport: unbounded and bounded MPSC queues, oneshot rendezvous and
-//!   bidirectional role-to-role links,
+//!   transport: lock-free SPSC rings behind the bidirectional role-to-role
+//!   links, unbounded and bounded MPSC queues for genuinely multi-producer
+//!   uses, and an atomic oneshot rendezvous,
 //! * [`block_on`] to drive a root future from a synchronous context, and
 //!   [`yield_now`] for cooperative rescheduling.
 //!

@@ -6,8 +6,14 @@
 //!   queue) plus a **LIFO slot** holding the most recently woken task, so a
 //!   wake performed *by* a worker (the ping-pong message-passing pattern)
 //!   is polled next on the same core without touching any shared queue,
+//! * the LIFO slot is reserved for *wakes* — the channel layer's waker
+//!   handoff lands the woken receiver exactly there, which is the
+//!   direct-handoff path for session ping-pong. Fresh spawns from a
+//!   worker go to the back of its FIFO deque instead, and a deque grown
+//!   past a threshold spills its oldest half into the injector so spawn
+//!   storms cannot grow a local queue without bound,
 //! * a global lock-free `Injector` receives tasks scheduled from outside
-//!   the pool (spawns, cross-thread wakes),
+//!   the pool (spawns, cross-thread wakes) plus spilled local backlogs,
 //! * idle workers first drain the LIFO slot and local deque, then
 //!   batch-steal from the injector, then batch-steal from a sibling
 //!   (random start index to spread contention), and finally park.
@@ -43,6 +49,13 @@ const MAX_WORKERS: usize = 64;
 /// Consecutive polls a worker may take from its LIFO slot before deferring
 /// to the FIFO deque, so a hot ping-pong pair cannot starve queued tasks.
 const LIFO_STREAK_LIMIT: u32 = 32;
+
+/// Local-deque length past which the owner spills the oldest half into the
+/// global injector. Bounds local queue growth under spawn storms (a task
+/// spawning thousands of children would otherwise grow its worker's deque
+/// without limit, since sibling steals move at most a small batch each)
+/// and shares the backlog with the whole pool in one go.
+const LOCAL_SPILL_LIMIT: usize = 256;
 
 /// Belt-and-braces park timeout: with a correct handshake no wake is ever
 /// lost, but a bounded sleep keeps the pool live under any missed-wake bug
@@ -128,9 +141,13 @@ impl Shared {
         self.notify();
     }
 
-    /// Schedules a woken task. On a worker thread of this runtime the task
-    /// goes into the LIFO slot (displacing any occupant into the deque);
-    /// everywhere else it goes through the injector.
+    /// Schedules a *woken* task — the receiver of a message, a completed
+    /// join, any waker fire. On a worker thread of this runtime the task
+    /// goes into the LIFO slot (displacing any occupant into the deque):
+    /// this is the direct-handoff path — a channel send performed by a
+    /// worker places the woken receiver where that same worker polls next,
+    /// so ping-pong message passing never touches a shared queue.
+    /// Everywhere else the task goes through the injector.
     pub(crate) fn schedule(self: &Arc<Self>, task: Arc<Task>) {
         let task = CONTEXT.with(|context| {
             let context = context.get();
@@ -147,6 +164,9 @@ impl Shared {
             }
             if let Some(displaced) = context.lifo.replace(Some(task)) {
                 context.deque.push(displaced);
+                if context.deque.len() >= LOCAL_SPILL_LIMIT {
+                    self.spill_local(&context.deque);
+                }
                 // Surplus local work that siblings could pick up.
                 self.notify();
             }
@@ -154,6 +174,48 @@ impl Shared {
         });
         if let Some(task) = task {
             self.push(task);
+        }
+    }
+
+    /// Schedules a freshly *spawned* task. Unlike a wake, a spawn never
+    /// claims the LIFO slot (that would let a spawn storm displace the hot
+    /// message-passing task): on a worker thread of this runtime it goes
+    /// to the back of the local FIFO deque, elsewhere through the
+    /// injector.
+    pub(crate) fn schedule_new(self: &Arc<Self>, task: Arc<Task>) {
+        let task = CONTEXT.with(|context| {
+            let context = context.get();
+            if context.is_null() {
+                return Some(task);
+            }
+            // Safety: as in `schedule`.
+            let context = unsafe { &*context };
+            if !ptr::eq(Arc::as_ptr(self), context.shared) {
+                return Some(task);
+            }
+            context.deque.push(task);
+            if context.deque.len() >= LOCAL_SPILL_LIMIT {
+                self.spill_local(&context.deque);
+            }
+            self.notify();
+            None
+        });
+        if let Some(task) = task {
+            self.push(task);
+        }
+    }
+
+    /// Moves the oldest half of an overlong local deque into the global
+    /// injector, where any worker can batch-claim it. Called by the owner
+    /// from its own push paths only — never after injector takeover, which
+    /// would bounce the same tasks back and forth.
+    #[cold]
+    fn spill_local(&self, deque: &Deque<Arc<Task>>) {
+        while deque.len() > LOCAL_SPILL_LIMIT / 2 {
+            match deque.pop() {
+                Some(task) => self.injector.push(task),
+                None => break,
+            }
         }
     }
 
@@ -304,7 +366,7 @@ impl Runtime {
             },
             self.shared.clone(),
         );
-        self.shared.schedule(task);
+        self.shared.schedule_new(task);
         handle
     }
 

@@ -140,10 +140,18 @@ where
         // No structural pinning: all fields are Unpin.
         let this = unsafe { self.get_unchecked_mut() };
         let state = this.state.as_mut().expect("polled after completion");
-        let message = match state.role.route().poll_recv(cx) {
-            Poll::Pending => return Poll::Pending,
-            Poll::Ready(None) => return Poll::Ready(Err(Error::ChannelClosed)),
-            Poll::Ready(Some(message)) => message,
+        // Non-blocking fast path first, falling back to `poll_recv` only
+        // on an empty queue; `poll_recv` then registers the waker (and
+        // re-checks, so nothing is lost). The session layer spells the
+        // two phases out so the hot path stays a plain pop even if the
+        // transport's `poll_recv` changes shape.
+        let message = match state.role.route().try_recv() {
+            Some(message) => message,
+            None => match state.role.route().poll_recv(cx) {
+                Poll::Pending => return Poll::Pending,
+                Poll::Ready(None) => return Poll::Ready(Err(Error::ChannelClosed)),
+                Poll::Ready(Some(message)) => message,
+            },
         };
         let label = match <Q::Message as Message<L>>::downcast(message) {
             Ok(label) => label,
@@ -271,10 +279,15 @@ where
     fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
         let this = unsafe { self.get_unchecked_mut() };
         let state = this.state.as_mut().expect("polled after completion");
-        let message = match state.role.route().poll_recv(cx) {
-            Poll::Pending => return Poll::Pending,
-            Poll::Ready(None) => return Poll::Ready(Err(Error::ChannelClosed)),
-            Poll::Ready(Some(message)) => message,
+        // Same non-blocking fast path as `ReceiveFuture`: pop an already
+        // published choice before registering any waker.
+        let message = match state.role.route().try_recv() {
+            Some(message) => message,
+            None => match state.role.route().poll_recv(cx) {
+                Poll::Pending => return Poll::Pending,
+                Poll::Ready(None) => return Poll::Ready(Err(Error::ChannelClosed)),
+                Poll::Ready(Some(message)) => message,
+            },
         };
         let state = this.state.take().expect("checked above");
         Poll::Ready(match C::downcast(state, message) {

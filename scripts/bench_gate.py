@@ -4,6 +4,7 @@ committed baseline artifact.
 
 Usage:
     bench_gate.py BASELINE.json CURRENT.json [--tolerance X]
+                  [--require-prefix P ...]
 
 For every protocol present in the baseline, the best (minimum) ns/op
 across thread counts is compared against the current run's best. Quick
@@ -13,6 +14,11 @@ comparable; the gate fails only when the current best is more than
 `--tolerance` times slower (default 2.5x) — generous on purpose, so
 noisy shared CI runners and the quick mode's smaller sample counts do
 not trip it, while genuine order-of-magnitude regressions still do.
+
+`--require-prefix P` (repeatable) additionally fails the gate unless
+both runs contain at least one protocol starting with `P`: a microbench
+family (e.g. the `channel_` rows) cannot silently vanish from the sweep
+and thereby escape regression coverage.
 
 Exit codes: 0 pass, 1 regression (or baseline protocol missing from the
 current run), 2 usage/IO error.
@@ -53,6 +59,14 @@ def main():
         default=2.5,
         help="maximum allowed slowdown factor (default: 2.5)",
     )
+    parser.add_argument(
+        "--require-prefix",
+        action="append",
+        default=[],
+        metavar="P",
+        help="fail unless both runs contain a protocol starting with P "
+        "(repeatable)",
+    )
     args = parser.parse_args()
     if args.tolerance <= 0:
         print("bench_gate: --tolerance must be positive", file=sys.stderr)
@@ -65,24 +79,31 @@ def main():
         sys.exit(2)
 
     failures = []
-    print(f"{'protocol':<18} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")
+    for prefix in args.require_prefix:
+        for name, run in (("baseline", baseline), ("current", current)):
+            if not any(protocol.startswith(prefix) for protocol in run):
+                failures.append(
+                    f"required protocol prefix `{prefix}` missing from {name} run"
+                )
+
+    print(f"{'protocol':<22} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")
     for protocol in sorted(baseline):
         base = baseline[protocol]
         if protocol not in current:
-            print(f"{protocol:<18} {base:>12.1f} {'MISSING':>12} {'-':>8}  FAIL")
+            print(f"{protocol:<22} {base:>12.1f} {'MISSING':>12} {'-':>8}  FAIL")
             failures.append(f"{protocol}: missing from current run")
             continue
         cur = current[protocol]
         ratio = cur / base if base > 0 else float("inf")
         verdict = "ok" if ratio <= args.tolerance else "FAIL"
-        print(f"{protocol:<18} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f}  {verdict}")
+        print(f"{protocol:<22} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f}  {verdict}")
         if verdict == "FAIL":
             failures.append(
                 f"{protocol}: {cur:.1f} ns/op vs baseline {base:.1f} "
                 f"({ratio:.2f}x > {args.tolerance}x)"
             )
     for protocol in sorted(set(current) - set(baseline)):
-        print(f"{protocol:<18} {'-':>12} {current[protocol]:>12.1f} {'-':>8}  new")
+        print(f"{protocol:<22} {'-':>12} {current[protocol]:>12.1f} {'-':>8}  new")
 
     if failures:
         print("\nbench_gate: regression detected:", file=sys.stderr)
