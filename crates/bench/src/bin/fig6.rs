@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run --release -p bench --bin fig6 [streaming|double-buffering|fft]
 //! cargo run --release -p bench --bin fig6 -- --json [--quick] [--out PATH]
+//! cargo run --release -p bench --features telemetry --bin fig6 -- \
+//!     --json --telemetry [--quick] [--out PATH]
 //! ```
 //!
 //! The default mode prints one row per parameter value with the
@@ -19,13 +21,21 @@
 //! bench gate diffs against); so that smoke runs can never dirty the
 //! working tree, it defaults its output to the system temp directory.
 //! `--out PATH` routes the artifact anywhere explicitly.
+//!
+//! `--telemetry` (instrumented builds only) appends a `"telemetry"`
+//! section to the JSON: per-worker scheduler counters for every swept
+//! thread count, and the per-channel occupancy table — each session
+//! link's high-watermark next to its statically verified k-MC bound.
+//! The run aborts if any watermark exceeds its bound, so a telemetry
+//! sweep doubles as an end-to-end check of the verifier's guarantee.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use bench::protocols::{double_buffering, fft8, streaming};
 use bench::timing::{measure, throughput};
-use bench::{channels, scaling};
+use bench::{channels, meta, scaling};
+use dep_telemetry as telemetry;
 
 const BUDGET: Duration = Duration::from_millis(300);
 const MAX_RUNS: usize = 50;
@@ -36,6 +46,7 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 fn main() {
     let mut json = false;
     let mut quick = false;
+    let mut with_telemetry = false;
     let mut out: Option<String> = None;
     let mut which: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -43,6 +54,7 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--quick" => quick = true,
+            "--telemetry" => with_telemetry = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -64,13 +76,20 @@ fn main() {
         eprintln!("--json always sweeps every protocol; drop the table name");
         std::process::exit(2);
     }
-    if (quick || out.is_some()) && !json {
-        eprintln!("--quick and --out only apply to --json mode");
+    if (quick || out.is_some() || with_telemetry) && !json {
+        eprintln!("--quick, --out and --telemetry only apply to --json mode");
+        std::process::exit(2);
+    }
+    if with_telemetry && !telemetry::ENABLED {
+        eprintln!(
+            "--telemetry needs the instrumented build: \
+             cargo run --release -p bench --features telemetry --bin fig6 -- ..."
+        );
         std::process::exit(2);
     }
 
     if json {
-        emit_json(quick, out);
+        emit_json(quick, with_telemetry, out);
         return;
     }
     let which = which.unwrap_or_else(|| "all".into());
@@ -98,7 +117,7 @@ struct JsonResult {
     ns_per_op: f64,
 }
 
-fn emit_json(quick: bool, out_path: Option<String>) {
+fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
     let budget = if quick {
         Duration::from_millis(40)
     } else {
@@ -123,6 +142,7 @@ fn emit_json(quick: bool, out_path: Option<String>) {
     let gen_mesh = scaling::generated::GeneratedMesh::new(mesh_peers);
 
     let mut results = Vec::new();
+    let mut scheduler: Vec<(usize, telemetry::scheduler::RuntimeSnapshot)> = Vec::new();
     for threads in THREADS {
         let rt = executor::Runtime::new(threads);
         let mut bench = |protocol: &'static str, params: String, ops: u64, f: &mut dyn FnMut()| {
@@ -226,6 +246,9 @@ fn emit_json(quick: bool, out_path: Option<String>) {
         bench("fft", format!("\"n\": {fft_n}"), fft_n as u64, &mut || {
             fft8::run_rumpsteak(&rt, fft_n);
         });
+        if with_telemetry {
+            scheduler.push((threads, rt.telemetry()));
+        }
     }
 
     // Smoke assertion (runs in `--quick` CI too): the channel-layer rows
@@ -257,6 +280,11 @@ fn emit_json(quick: bool, out_path: Option<String>) {
         "  \"host_parallelism\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    // Provenance: a trajectory artifact without its revision, toolchain
+    // and date is not reproducible evidence.
+    let _ = writeln!(out, "  \"git_revision\": \"{}\",", meta::git_revision());
+    let _ = writeln!(out, "  \"rustc_version\": \"{}\",", meta::rustc_version());
+    let _ = writeln!(out, "  \"generated_at\": \"{}\",", meta::timestamp_utc());
     out.push_str("  \"unit\": \"ns/op\",\n  \"results\": [\n");
     for (index, r) in results.iter().enumerate() {
         let _ = write!(
@@ -271,7 +299,14 @@ fn emit_json(quick: bool, out_path: Option<String>) {
             "\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if with_telemetry {
+        out.push_str(",\n");
+        out.push_str(&telemetry_section(&scheduler));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
 
     // Quick mode defaults to the system temp directory so CI smoke runs
     // can neither clobber the committed full-mode trajectory artifact nor
@@ -285,6 +320,79 @@ fn emit_json(quick: bool, out_path: Option<String>) {
         .unwrap_or_else(|error| panic!("failed to write {}: {error}", path.display()));
     print!("{out}");
     eprintln!("wrote {} ({} results)", path.display(), results.len());
+}
+
+/// Renders the `"telemetry"` top-level JSON member: per-worker scheduler
+/// counters for every swept thread count plus the global per-channel
+/// table. Hard-fails if any session channel's observed high-watermark
+/// exceeded its statically verified k-MC bound — a `--telemetry` run
+/// doubles as an end-to-end check of the verifier's guarantee.
+fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)]) -> String {
+    let counters_json = |snapshot: &telemetry::scheduler::CountersSnapshot| {
+        let fields: Vec<String> = snapshot
+            .fields()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\": {value}"))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    };
+
+    let mut out = String::new();
+    out.push_str("  \"telemetry\": {\n    \"scheduler\": [\n");
+    for (index, (threads, snapshot)) in scheduler.iter().enumerate() {
+        let _ = writeln!(out, "      {{\"threads\": {threads}, \"workers\": [");
+        for (w, worker) in snapshot.workers.iter().enumerate() {
+            let _ = write!(out, "        {}", counters_json(worker));
+            out.push_str(if w + 1 < snapshot.workers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            out,
+            "      ], \"external\": {}}}",
+            counters_json(&snapshot.external)
+        );
+        out.push_str(if index + 1 < scheduler.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ],\n    \"channels\": [\n");
+
+    let links = telemetry::channel::snapshot();
+    assert!(
+        links.iter().any(|link| link.kmc_bound.is_some()),
+        "--telemetry sweep registered no channel bounds — the session \
+         protocols did not run through labelled links"
+    );
+    for (index, link) in links.iter().enumerate() {
+        assert!(
+            !link.violates_bound(),
+            "channel {} -> {} exceeded its verified k-MC bound: \
+             high_watermark {} > k = {}",
+            link.from,
+            link.to,
+            link.high_watermark,
+            link.kmc_bound.unwrap_or(0),
+        );
+        let bound = match link.kmc_bound {
+            Some(k) => k.to_string(),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            "      {{\"from\": \"{}\", \"to\": \"{}\", \"high_watermark\": {}, \
+             \"kmc_bound\": {bound}, \"grows\": {}, \"waker_retries\": {}, \
+             \"instances\": {}}}",
+            link.from, link.to, link.high_watermark, link.grows, link.waker_retries, link.instances
+        );
+        out.push_str(if index + 1 < links.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }\n");
+    out
 }
 
 fn row(cells: &[String]) {

@@ -1,0 +1,123 @@
+//! Session-event trace recorder: runs the Fig 6 protocols once on the
+//! instrumented runtime and dumps every recorded Send/Receive/Select/
+//! Branch event as a Chrome trace-event JSON document, loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! cargo run --release -p bench --features telemetry --bin rumpsteak-trace -- \
+//!     [streaming|double-buffering|fft|all] [--threads N] [--out PATH]
+//! ```
+//!
+//! Events are captured in per-thread lock-free drop-oldest rings, so a
+//! trace is an *observation*, never a throttle: if a thread outran its
+//! ring the overwritten count is reported on stderr and in the trace
+//! metadata rather than silently missing. Without the `telemetry`
+//! feature the binary exits with a pointer at the instrumented build —
+//! the uninstrumented stack records nothing to dump.
+
+use std::fmt::Write as _;
+
+use bench::protocols::{double_buffering, fft8, streaming};
+use dep_telemetry as telemetry;
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut threads = 2usize;
+    let mut which: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "streaming" | "double-buffering" | "fft" | "all" => which = Some(arg),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; expected \
+                     streaming|double-buffering|fft|all, --threads N, --out PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if !telemetry::ENABLED {
+        eprintln!(
+            "rumpsteak-trace records nothing without the instrumented build: \
+             cargo run --release -p bench --features telemetry --bin rumpsteak-trace"
+        );
+        std::process::exit(2);
+    }
+
+    let which = which.unwrap_or_else(|| "all".into());
+    let rt = executor::Runtime::new(threads);
+    // Discard events from anything that ran before the workloads (none
+    // expected, but keeps the trace self-contained).
+    let _ = telemetry::trace::drain();
+
+    if matches!(which.as_str(), "streaming" | "all") {
+        let count = 200;
+        assert_eq!(
+            streaming::run_rumpsteak(&rt, count, true),
+            streaming::expected(count)
+        );
+    }
+    if matches!(which.as_str(), "double-buffering" | "all") {
+        let size = 256;
+        assert_eq!(
+            double_buffering::run_rumpsteak(&rt, size, true),
+            double_buffering::expected(size)
+        );
+    }
+    if matches!(which.as_str(), "fft" | "all") {
+        let rows = 64;
+        let out = fft8::run_rumpsteak(&rt, rows);
+        let reference = fft8::run_sequential(rows);
+        assert!((fft8::checksum(&out) - fft8::checksum(&reference)).abs() < 1e-6);
+    }
+
+    let traces = telemetry::trace::drain();
+    let events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    let json = telemetry::trace::chrome_trace_json(&traces);
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|error| panic!("failed to write {path}: {error}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    let mut summary = String::new();
+    let _ = write!(
+        summary,
+        "{events} events across {} threads ({dropped} dropped)",
+        traces.len()
+    );
+    for trace in &traces {
+        let _ = write!(
+            summary,
+            "\n  {}: {} events, {} dropped",
+            trace.thread,
+            trace.events.len(),
+            trace.dropped
+        );
+    }
+    eprintln!("{summary}");
+    assert!(
+        events > 0,
+        "instrumented protocols produced no session events"
+    );
+}

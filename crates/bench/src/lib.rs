@@ -13,6 +13,8 @@
 //! * [`channels`] — channel-layer microbenchmarks (SPSC ping-pong and
 //!   burst throughput vs the mutex-MPSC baseline), also swept by
 //!   `fig6 --json`,
+//! * [`meta`] — provenance metadata (git revision, rustc version,
+//!   timestamp) stamped into the JSON artifacts,
 //! * [`table1`] — the expressiveness matrix of Table 1,
 //! * [`timing`] — a small wall-clock harness used by the `fig6`/`fig7`
 //!   binaries to print the same rows as Appendix C.
@@ -21,6 +23,7 @@
 //! `fig6`, `fig7` and `table1` binaries print the corresponding tables.
 
 pub mod channels;
+pub mod meta;
 pub mod protocols;
 pub mod scaling;
 pub mod table1;

@@ -1,0 +1,106 @@
+//! Provenance metadata stamped into benchmark artifacts.
+//!
+//! `BENCH_fig6.json` is a long-lived trajectory artifact diffed across
+//! commits; a number without its toolchain, revision and date is not
+//! reproducible evidence. Everything here is best-effort and
+//! dependency-free: a missing `git` binary degrades to `"unknown"`
+//! rather than failing a benchmark run.
+
+/// The `rustc -V` string of the compiler that built this crate,
+/// captured by the build script.
+pub fn rustc_version() -> &'static str {
+    env!("BENCH_RUSTC_VERSION")
+}
+
+/// The current git revision (short hash, `-dirty` suffixed when the
+/// tree has uncommitted changes), or `"unknown"` outside a checkout.
+pub fn git_revision() -> String {
+    let hash = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty());
+    let Some(hash) = hash else {
+        return "unknown".to_owned();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| !out.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{hash}-dirty")
+    } else {
+        hash
+    }
+}
+
+/// The current wall-clock time as an ISO-8601 UTC timestamp
+/// (`YYYY-MM-DDThh:mm:ssZ`), computed from `SystemTime` without a
+/// calendar dependency.
+pub fn timestamp_utc() -> String {
+    let seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso8601_utc(seconds)
+}
+
+/// Renders seconds-since-epoch as `YYYY-MM-DDThh:mm:ssZ`.
+fn iso8601_utc(seconds: u64) -> String {
+    let days = (seconds / 86_400) as i64;
+    let (year, month, day) = civil_from_days(days);
+    let tod = seconds % 86_400;
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+/// Proleptic-Gregorian date for a day count since 1970-01-01 (Howard
+/// Hinnant's `civil_from_days`, exact for the whole i64 day range used
+/// here).
+fn civil_from_days(days: i64) -> (i64, u64, u64) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let year = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let day = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let month = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if month <= 2 { year + 1 } else { year }, month, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso8601_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        // Leap-century day.
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z");
+        // End of a leap year, with a time-of-day component.
+        assert_eq!(iso8601_utc(1_703_980_799), "2023-12-30T23:59:59Z");
+    }
+
+    #[test]
+    fn rustc_version_is_captured() {
+        assert!(rustc_version().starts_with("rustc "));
+    }
+
+    #[test]
+    fn git_revision_never_fails() {
+        let rev = git_revision();
+        assert!(!rev.is_empty());
+    }
+}

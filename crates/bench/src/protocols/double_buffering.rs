@@ -28,6 +28,12 @@ messages! {
 
 roles! {
     message Label;
+    // Verified bounds over both kernels sharing these roles: the
+    // optimised kernel (Fig 4b) fronts both `ready`s, so two readys and
+    // then two values can be in flight on the k↔s link; the sink side
+    // stays strictly alternating. Cross-checked against the
+    // kmc-computed depths in `tests/telemetry.rs`.
+    bounds { K -> S: 2, S -> K: 2, K -> T: 1, T -> K: 1 };
     K { s: S, t: T },
     S { k: K },
     T { k: K },

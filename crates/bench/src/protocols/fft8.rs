@@ -26,6 +26,18 @@ messages! {
 
 roles! {
     message FftLabel;
+    // Each butterfly pair exchanges exactly one column per stage and a
+    // pair only meets in one stage, so every directed channel carries at
+    // most one message (k-MC exhaustive at k = 1). Cross-checked against
+    // the kmc-computed depths in `tests/telemetry.rs`.
+    bounds {
+        P0 -> P1: 1, P1 -> P0: 1, P0 -> P2: 1, P2 -> P0: 1,
+        P0 -> P4: 1, P4 -> P0: 1, P1 -> P3: 1, P3 -> P1: 1,
+        P1 -> P5: 1, P5 -> P1: 1, P2 -> P3: 1, P3 -> P2: 1,
+        P2 -> P6: 1, P6 -> P2: 1, P3 -> P7: 1, P7 -> P3: 1,
+        P4 -> P5: 1, P5 -> P4: 1, P4 -> P6: 1, P6 -> P4: 1,
+        P5 -> P7: 1, P7 -> P5: 1, P6 -> P7: 1, P7 -> P6: 1
+    };
     P0 { d1: P1, d2: P2, d4: P4 },
     P1 { d1: P0, d2: P3, d4: P5 },
     P2 { d1: P3, d2: P0, d4: P6 },
@@ -37,10 +49,10 @@ roles! {
 }
 
 /// One stage: send my column, receive the partner's.
-type Exchange<'q, Q, P, S> = Send<'q, Q, P, Data, Receive<'q, Q, P, Data, S>>;
+pub type Exchange<'q, Q, P, S> = Send<'q, Q, P, Data, Receive<'q, Q, P, Data, S>>;
 
 /// The whole per-process session: three exchanges then end.
-type FftSession<'q, Q, A, B, C> =
+pub type FftSession<'q, Q, A, B, C> =
     Exchange<'q, Q, A, Exchange<'q, Q, B, Exchange<'q, Q, C, End<'q, Q>>>>;
 
 /// Runs one process's three butterfly stages over its typed session.

@@ -32,6 +32,14 @@ messages! {
 
 roles! {
     message Label;
+    // Verified bounds over *both* sources sharing these roles: the
+    // optimised source keeps UNROLL values in flight plus the one
+    // answering the sink's outstanding `ready`; symmetrically, while the
+    // sink drains those queued values it issues one `ready` per value on
+    // top of its leading one, so both directions peak at UNROLL + 1.
+    // Cross-checked against the kmc-computed depths in
+    // `tests/telemetry.rs`.
+    bounds { S -> T: 6, T -> S: 6 };
     S { t: T },
     T { s: S },
 }

@@ -1,0 +1,196 @@
+//! Channel-telemetry invariants on the Fig 6 protocols.
+//!
+//! Two properties per protocol, exercised with and without the
+//! `telemetry` feature (CI runs both):
+//!
+//! 1. The hand-annotated `bounds { ... }` clauses in the `roles!`
+//!    declarations match the depths the k-MC checker actually computes
+//!    from the serialised session types — the annotation cannot drift
+//!    from the verified truth.
+//! 2. After running the protocol (projected *and* optimised variants),
+//!    every link's observed high-watermark stays within its registered
+//!    bound: the static guarantee, checked against a real execution.
+//!
+//! In disabled builds the registry is empty and only that is asserted.
+
+use bench::protocols::{double_buffering, fft8, streaming};
+use rumpsteak::telemetry;
+
+/// The union of per-channel maxima over several variants of a system,
+/// computed by widening `k` until the exploration is exhaustive (the
+/// depths are then tight bounds).
+fn kmc_bounds(variants: &[Vec<theory::Fsm>]) -> Vec<(String, String, u64)> {
+    let mut merged: std::collections::BTreeMap<(String, String), u64> = Default::default();
+    for fsms in variants {
+        let system = kmc::System::new(fsms.clone()).expect("valid system");
+        // A too-small k can surface as a spurious deadlock (a send
+        // disabled by a full channel leaves no machine able to move), so
+        // widen on violations too; only an exhaustive pass is conclusive.
+        let report = (1..=16)
+            .find_map(|k| match kmc::check(&system, k) {
+                Ok(report) if report.exhaustive => Some(report),
+                _ => None,
+            })
+            .expect("system exhaustively checkable within k <= 16");
+        for (from, to, depth) in report.channel_bounds(&system) {
+            let entry = merged
+                .entry((from.as_str().to_owned(), to.as_str().to_owned()))
+                .or_insert(0);
+            *entry = (*entry).max(depth as u64);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|((from, to), depth)| (from, to, depth))
+        .collect()
+}
+
+/// Asserts the registered bound and observed watermark for `(from, to)`
+/// after the protocol ran: bound matches the annotation, watermark is
+/// within it, and the link actually carried traffic.
+fn assert_link(snapshot: &[telemetry::channel::LinkSnapshot], from: &str, to: &str, bound: u64) {
+    let link = snapshot
+        .iter()
+        .find(|l| l.from == from && l.to == to)
+        .unwrap_or_else(|| panic!("link {from} -> {to} not registered"));
+    assert_eq!(
+        link.kmc_bound,
+        Some(bound),
+        "registered bound for {from} -> {to}"
+    );
+    assert!(
+        !link.violates_bound(),
+        "{from} -> {to}: watermark {} exceeds verified bound {bound}",
+        link.high_watermark
+    );
+    assert!(
+        link.high_watermark > 0,
+        "{from} -> {to} carried no traffic — the watermark check is vacuous"
+    );
+}
+
+#[test]
+fn streaming_watermarks_stay_within_kmc_bounds() {
+    // Annotation cross-check: projected and optimised sources, same sink.
+    let variants = vec![
+        vec![
+            rumpsteak::serialize::<streaming::Source<'static>>().unwrap(),
+            rumpsteak::serialize::<streaming::Sink<'static>>().unwrap(),
+        ],
+        vec![
+            rumpsteak::serialize::<streaming::OptSource<'static>>().unwrap(),
+            rumpsteak::serialize::<streaming::Sink<'static>>().unwrap(),
+        ],
+    ];
+    assert_eq!(
+        kmc_bounds(&variants),
+        vec![
+            ("S".to_owned(), "T".to_owned(), streaming::UNROLL as u64 + 1),
+            ("T".to_owned(), "S".to_owned(), streaming::UNROLL as u64 + 1),
+        ],
+        "hand-annotated bounds in streaming's roles! clause are stale"
+    );
+
+    let rt = executor::Runtime::new(2);
+    let count = 40;
+    assert_eq!(
+        streaming::run_rumpsteak(&rt, count, false),
+        streaming::expected(count)
+    );
+    assert_eq!(
+        streaming::run_rumpsteak(&rt, count, true),
+        streaming::expected(count)
+    );
+
+    let snapshot = telemetry::channel::snapshot();
+    if !telemetry::ENABLED {
+        assert!(snapshot.is_empty());
+        return;
+    }
+    assert_link(&snapshot, "S", "T", streaming::UNROLL as u64 + 1);
+    assert_link(&snapshot, "T", "S", streaming::UNROLL as u64 + 1);
+}
+
+#[test]
+fn double_buffering_watermarks_stay_within_kmc_bounds() {
+    let variants = vec![
+        vec![
+            rumpsteak::serialize::<double_buffering::Kernel<'static>>().unwrap(),
+            rumpsteak::serialize::<double_buffering::Source<'static>>().unwrap(),
+            rumpsteak::serialize::<double_buffering::Sink<'static>>().unwrap(),
+        ],
+        vec![
+            rumpsteak::serialize::<double_buffering::KernelOpt<'static>>().unwrap(),
+            rumpsteak::serialize::<double_buffering::Source<'static>>().unwrap(),
+            rumpsteak::serialize::<double_buffering::Sink<'static>>().unwrap(),
+        ],
+    ];
+    assert_eq!(
+        kmc_bounds(&variants),
+        vec![
+            ("K".to_owned(), "S".to_owned(), 2),
+            ("K".to_owned(), "T".to_owned(), 1),
+            ("S".to_owned(), "K".to_owned(), 2),
+            ("T".to_owned(), "K".to_owned(), 1),
+        ],
+        "hand-annotated bounds in double_buffering's roles! clause are stale"
+    );
+
+    let rt = executor::Runtime::new(2);
+    let size = 64;
+    assert_eq!(
+        double_buffering::run_rumpsteak(&rt, size, false),
+        double_buffering::expected(size)
+    );
+    assert_eq!(
+        double_buffering::run_rumpsteak(&rt, size, true),
+        double_buffering::expected(size)
+    );
+
+    let snapshot = telemetry::channel::snapshot();
+    if !telemetry::ENABLED {
+        assert!(snapshot.is_empty());
+        return;
+    }
+    assert_link(&snapshot, "K", "S", 2);
+    assert_link(&snapshot, "S", "K", 2);
+    assert_link(&snapshot, "K", "T", 1);
+    assert_link(&snapshot, "T", "K", 1);
+}
+
+#[test]
+fn fft_watermarks_stay_within_kmc_bounds() {
+    use fft8::{P0, P1, P2, P3, P4, P5, P6, P7};
+    let variants = vec![vec![
+        rumpsteak::serialize::<fft8::FftSession<'static, P0, P1, P2, P4>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P1, P0, P3, P5>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P2, P3, P0, P6>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P3, P2, P1, P7>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P4, P5, P6, P0>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P5, P4, P7, P1>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P6, P7, P4, P2>>().unwrap(),
+        rumpsteak::serialize::<fft8::FftSession<'static, P7, P6, P5, P3>>().unwrap(),
+    ]];
+    let bounds = kmc_bounds(&variants);
+    // 8 processes × 3 partners, every directed channel carries one column.
+    assert_eq!(bounds.len(), 24, "directed channel count");
+    assert!(
+        bounds.iter().all(|(_, _, depth)| *depth == 1),
+        "hand-annotated bounds in fft8's roles! clause are stale: {bounds:?}"
+    );
+
+    let rt = executor::Runtime::new(4);
+    let rows = 16;
+    let out = fft8::run_rumpsteak(&rt, rows);
+    let expected = fft8::run_sequential(rows);
+    assert!((fft8::checksum(&out) - fft8::checksum(&expected)).abs() < 1e-6);
+
+    let snapshot = telemetry::channel::snapshot();
+    if !telemetry::ENABLED {
+        assert!(snapshot.is_empty());
+        return;
+    }
+    for (from, to, depth) in &bounds {
+        assert_link(&snapshot, from, to, *depth);
+    }
+}

@@ -163,6 +163,19 @@ pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
     out.push_str("    }\n}\n\n");
 
     out.push_str("roles! {\n    message Label;\n");
+    // Statically verified per-channel bounds: when the k-MC exploration
+    // is exhaustive, its observed maxima are tight, so `connect()` can
+    // register them for runtime watermark checking (telemetry builds
+    // assert `observed_depth <= k`). Omitted when no exhaustive bound is
+    // found — an unverified number must never be registered.
+    let bounds = crate::verified_channel_bounds(analysis);
+    if !bounds.is_empty() {
+        let rendered: Vec<String> = bounds
+            .iter()
+            .map(|(from, to, depth)| format!("{} -> {}: {depth}", role_types[from], role_types[to]))
+            .collect();
+        out.push_str(&format!("    bounds {{ {} }};\n", rendered.join(", ")));
+    }
     for (role, local) in &analysis.locals {
         let peers = local.peers();
         let mut fields: Vec<String> = Vec::new();
@@ -436,6 +449,7 @@ mod tests {
         .unwrap();
         let module = rust_module(&analysis).unwrap();
         assert!(module.contains("pub struct Ready;"));
+        assert!(module.contains("bounds { S -> T: 1, T -> S: 1 };"));
         assert!(module.contains("pub struct Value(pub i32);"));
         assert!(module.contains("Value(Value): i32,"));
         assert!(module.contains("S { t: T },"));

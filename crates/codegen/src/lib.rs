@@ -206,6 +206,41 @@ pub fn check(analysis: &Analysis, k: usize) -> Result<kmc::Report, Error> {
     kmc::check(&system, k).map_err(Error::Violation)
 }
 
+/// The exhaustively verified per-channel depth bounds of the projected
+/// system, as `(from, to, max_depth)` triples in channel-index order —
+/// the payload of the `bounds { ... }` clause the emitter writes into
+/// generated `roles!` declarations.
+///
+/// Tries k-MC with increasing `k` until the exploration is exhaustive
+/// (every send was enabled within the bound), at which point the observed
+/// maxima are tight static bounds. Returns an empty vector if the system
+/// is invalid, unsafe, or not exhaustively checkable within `k <=`
+/// [`MAX_BOUND_SEARCH`] — emission then simply omits the clause rather
+/// than registering an unverified bound.
+pub fn verified_channel_bounds(analysis: &Analysis) -> Vec<(Name, Name, usize)> {
+    let Ok(system) = kmc::System::new(analysis.fsms.clone()) else {
+        return Vec::new();
+    };
+    for k in 1..=MAX_BOUND_SEARCH {
+        match kmc::check(&system, k) {
+            Ok(report) if report.exhaustive => {
+                return report
+                    .channel_bounds(&system)
+                    .into_iter()
+                    .map(|(from, to, depth)| (from.clone(), to.clone(), depth))
+                    .collect();
+            }
+            Ok(_) => continue,
+            Err(_) => return Vec::new(),
+        }
+    }
+    Vec::new()
+}
+
+/// Largest channel bound [`verified_channel_bounds`] will try before
+/// giving up; real protocols in the corpus are exhaustive well below it.
+pub const MAX_BOUND_SEARCH: usize = 16;
+
 #[cfg(test)]
 mod tests {
     use super::*;

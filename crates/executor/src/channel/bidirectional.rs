@@ -12,7 +12,7 @@
 //! lock, and the waker handoff feeds straight into the scheduler's
 //! LIFO-slot direct-handoff path.
 
-use super::spsc::{spsc, SpscReceiver, SpscSender};
+use super::spsc::{spsc, spsc_labelled, SpscReceiver, SpscSender};
 use super::SendError;
 
 /// One endpoint of a bidirectional link between two fixed peers.
@@ -26,6 +26,26 @@ impl<T> Bidirectional<T> {
     pub fn pair() -> (Self, Self) {
         let (a_to_b_tx, a_to_b_rx) = spsc();
         let (b_to_a_tx, b_to_a_rx) = spsc();
+        (
+            Self {
+                tx: a_to_b_tx,
+                rx: b_to_a_rx,
+            },
+            Self {
+                tx: b_to_a_tx,
+                rx: a_to_b_rx,
+            },
+        )
+    }
+
+    /// Creates both endpoints of a link between the named roles `a` and
+    /// `b`, registering each direction with the telemetry layer (so the
+    /// per-channel occupancy watermark can be checked against the
+    /// statically verified k-MC bound). Identical to [`Self::pair`] when
+    /// telemetry is disabled.
+    pub fn pair_labelled(a: &'static str, b: &'static str) -> (Self, Self) {
+        let (a_to_b_tx, a_to_b_rx) = spsc_labelled(a, b);
+        let (b_to_a_tx, b_to_a_rx) = spsc_labelled(b, a);
         (
             Self {
                 tx: a_to_b_tx,

@@ -35,7 +35,7 @@ mod unbounded;
 pub use bidirectional::Bidirectional;
 pub use bounded::{bounded, BoundedReceiver, BoundedSender};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
-pub use spsc::{spsc, SpscReceiver, SpscRecv, SpscSender};
+pub use spsc::{spsc, spsc_labelled, SpscReceiver, SpscRecv, SpscSender};
 pub use unbounded::{unbounded, Receiver, Sender};
 
 /// Error returned by the non-blocking `send` operations when the receiver

@@ -50,6 +50,8 @@ use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU8, AtomicUsize};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
+use dep_telemetry as telemetry;
+
 use super::SendError;
 
 /// Initial ring capacity (power of two). Small on purpose: session links
@@ -119,6 +121,9 @@ struct Inner<T> {
     tx_alive: AtomicBool,
     /// Cleared by `Receiver::drop`; later sends fail fast.
     rx_alive: AtomicBool,
+    /// Telemetry handle (a no-op ZST unless the link was created with
+    /// [`spsc_labelled`] in a telemetry build).
+    stats: telemetry::channel::LinkStats,
 }
 
 unsafe impl<T: Send> Send for Inner<T> {}
@@ -147,6 +152,19 @@ impl<T> Drop for Inner<T> {
 /// Creates a lock-free SPSC channel. Neither endpoint is cloneable; use
 /// [`unbounded`](super::unbounded) where multiple producers are needed.
 pub fn spsc<T>() -> (SpscSender<T>, SpscReceiver<T>) {
+    spsc_with_stats(telemetry::channel::LinkStats::default())
+}
+
+/// Creates an SPSC channel registered with the telemetry layer as the
+/// directed link `from → to`, so its occupancy high-watermark, growth and
+/// waker-retry counts appear in channel snapshots (and are checked
+/// against the link's registered k-MC bound). Identical to [`spsc`] when
+/// telemetry is disabled.
+pub fn spsc_labelled<T>(from: &'static str, to: &'static str) -> (SpscSender<T>, SpscReceiver<T>) {
+    spsc_with_stats(telemetry::channel::register(from, to))
+}
+
+fn spsc_with_stats<T>(stats: telemetry::channel::LinkStats) -> (SpscSender<T>, SpscReceiver<T>) {
     let buffer = Box::into_raw(Buffer::alloc(MIN_CAP, ptr::null_mut()));
     let inner = Arc::new(Inner {
         head: AtomicUsize::new(0),
@@ -156,6 +174,7 @@ pub fn spsc<T>() -> (SpscSender<T>, SpscReceiver<T>) {
         waker: UnsafeCell::new(None),
         tx_alive: AtomicBool::new(true),
         rx_alive: AtomicBool::new(true),
+        stats,
     });
     (
         SpscSender {
@@ -211,6 +230,17 @@ impl<T> SpscSender<T> {
         self.tail += 1;
         self.inner.tail.store(self.tail, Release);
 
+        if telemetry::ENABLED {
+            // Occupancy immediately after publishing. The head read may
+            // lag the consumer (making the depth an over-estimate of the
+            // *instantaneous* queue), but a lagging head describes a
+            // configuration that was legitimately reachable — the k-MC
+            // bound covers every interleaving of pops, so `depth <= k`
+            // must still hold and the watermark has no false positives.
+            let depth = self.tail - self.inner.head.load(Relaxed);
+            self.inner.stats.record_depth(depth as u64);
+        }
+
         // Dekker handshake with `SpscReceiver::register`: order the tail
         // publication before the waker-state read, so either we observe
         // the waiter or the waiter's queue re-check observes our value.
@@ -231,6 +261,7 @@ impl<T> SpscSender<T> {
     /// may still be reading it). Producer only.
     #[cold]
     fn grow(&mut self) {
+        self.inner.stats.record_grow();
         let old = self.buffer;
         let new = Buffer::alloc(self.cap * 2, old);
         for index in self.cached_head..self.tail {
@@ -401,7 +432,10 @@ impl<T> SpscReceiver<T> {
                     Err(WAKER_WAITING) => break,
                     // Producer mid-wake (of this very waker): wait out its
                     // short read-and-store section, then re-arm.
-                    Err(_) => std::hint::spin_loop(),
+                    Err(_) => {
+                        inner.stats.record_waker_retry();
+                        std::hint::spin_loop();
+                    }
                 }
             }
             fence(SeqCst);
@@ -424,10 +458,14 @@ impl<T> SpscReceiver<T> {
                     {
                         break;
                     }
+                    inner.stats.record_waker_retry();
                 }
                 // Producer mid-wake: its critical section is a read plus
                 // a store, so spin it out rather than losing this waker.
-                Err(_) => std::hint::spin_loop(),
+                Err(_) => {
+                    inner.stats.record_waker_retry();
+                    std::hint::spin_loop();
+                }
             }
         }
         // Safety: LOCKED grants cell ownership.
@@ -555,6 +593,30 @@ mod tests {
         assert_eq!(Arc::strong_count(&value), 1 + MIN_CAP * 3 - 5);
         drop((tx, rx));
         assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn labelled_channel_reports_watermark_and_growth() {
+        telemetry::channel::reset();
+        let (mut tx, mut rx) = spsc_labelled::<u32>("SpscFrom", "SpscTo");
+        for i in 0..(MIN_CAP as u32 * 2) {
+            tx.send(i).unwrap();
+        }
+        for i in 0..(MIN_CAP as u32 * 2) {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        let links = telemetry::channel::snapshot();
+        if telemetry::ENABLED {
+            let link = links
+                .iter()
+                .find(|l| l.from == "SpscFrom" && l.to == "SpscTo")
+                .expect("labelled link registered");
+            assert_eq!(link.high_watermark, MIN_CAP as u64 * 2);
+            assert!(link.grows >= 1);
+        } else {
+            assert!(links.is_empty());
+        }
+        telemetry::channel::reset();
     }
 
     #[test]

@@ -38,6 +38,9 @@ use std::thread::JoinHandle as ThreadHandle;
 use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use dep_telemetry as telemetry;
+use telemetry::scheduler::Counters;
+use telemetry::CachePadded;
 
 use crate::join::{self, JoinHandle};
 use crate::park;
@@ -132,6 +135,10 @@ pub(crate) struct Shared {
     /// Bit `i` set ⇔ worker `i` is parked and may be claimed by a waker.
     parked: AtomicU64,
     shutdown: AtomicBool,
+    /// One cache-padded counter block per worker plus a final "external"
+    /// block for operations performed off the pool. Zero-sized (and
+    /// untouched) unless the `telemetry` feature is on.
+    counters: Box<[CachePadded<Counters>]>,
 }
 
 impl Shared {
@@ -165,6 +172,7 @@ impl Shared {
             if let Some(displaced) = context.lifo.replace(Some(task)) {
                 context.deque.push(displaced);
                 if context.deque.len() >= LOCAL_SPILL_LIMIT {
+                    self.counters[context.index].spills.incr();
                     self.spill_local(&context.deque);
                 }
                 // Surplus local work that siblings could pick up.
@@ -193,14 +201,17 @@ impl Shared {
             if !ptr::eq(Arc::as_ptr(self), context.shared) {
                 return Some(task);
             }
+            self.counters[context.index].spawns.incr();
             context.deque.push(task);
             if context.deque.len() >= LOCAL_SPILL_LIMIT {
+                self.counters[context.index].spills.incr();
                 self.spill_local(&context.deque);
             }
             self.notify();
             None
         });
         if let Some(task) = task {
+            self.counters[self.counters.len() - 1].spawns.incr();
             self.push(task);
         }
     }
@@ -247,6 +258,7 @@ impl Shared {
                     // own wakes instead of stampeding the remaining
                     // sleepers.
                     self.searching.fetch_add(1, Ordering::SeqCst);
+                    self.counters[index].unparks.incr();
                     self.parkers[index].unpark();
                     return;
                 }
@@ -258,6 +270,37 @@ impl Shared {
     /// True if any shared queue (injector or a sibling deque) has work.
     fn work_available(&self) -> bool {
         !self.injector.is_empty() || self.stealers.iter().any(|stealer| !stealer.is_empty())
+    }
+
+    /// The counter block of the calling thread: the worker's own block on
+    /// a worker of *this* runtime, the external block anywhere else.
+    /// Callers guard with `telemetry::ENABLED` so disabled builds skip
+    /// the thread-local lookup entirely.
+    fn counters_here(&self) -> &Counters {
+        let index = CONTEXT.with(|context| {
+            let context = context.get();
+            if context.is_null() {
+                return None;
+            }
+            // Safety: as in `schedule`.
+            let context = unsafe { &*context };
+            ptr::eq(self, context.shared).then_some(context.index)
+        });
+        &self.counters[index.unwrap_or(self.counters.len() - 1)]
+    }
+
+    /// Records one poll of a scheduled task on the calling thread.
+    pub(crate) fn record_poll(&self) {
+        if telemetry::ENABLED {
+            self.counters_here().polls.incr();
+        }
+    }
+
+    /// Records a task future driven to completion on the calling thread.
+    pub(crate) fn record_completion(&self) {
+        if telemetry::ENABLED {
+            self.counters_here().completions.incr();
+        }
     }
 
     /// Removes this worker's parked bit. Returns false if a waker claimed
@@ -287,6 +330,8 @@ impl Shared {
 struct WorkerContext {
     /// Identifies the runtime this worker belongs to.
     shared: *const Shared,
+    /// This worker's index into `Shared::stealers`/`parkers`/`counters`.
+    index: usize,
     deque: Deque<Arc<Task>>,
     /// The most recently woken task; polled next, ahead of the deque.
     lifo: Cell<Option<Arc<Task>>>,
@@ -328,6 +373,8 @@ impl Runtime {
             searching: AtomicUsize::new(0),
             parked: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            // One block per worker plus the trailing external block.
+            counters: (0..threads + 1).map(|_| CachePadded::default()).collect(),
         });
 
         let workers = deques
@@ -375,6 +422,21 @@ impl Runtime {
     pub fn block_on<F: Future>(&self, future: F) -> F::Output {
         park::block_on(future)
     }
+
+    /// Snapshots the scheduler counters: one block per worker plus the
+    /// external block (operations from threads outside the pool). All
+    /// zeros unless built with the `telemetry` feature. Counts are exact
+    /// once the pool is quiescent (no task running or queued).
+    pub fn telemetry(&self) -> telemetry::scheduler::RuntimeSnapshot {
+        let workers = self.shared.parkers.len();
+        telemetry::scheduler::RuntimeSnapshot {
+            workers: self.shared.counters[..workers]
+                .iter()
+                .map(|block| block.snapshot())
+                .collect(),
+            external: self.shared.counters[workers].snapshot(),
+        }
+    }
 }
 
 impl Drop for Runtime {
@@ -409,12 +471,14 @@ fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
 
     let context = WorkerContext {
         shared: Arc::as_ptr(&shared),
+        index,
         deque,
         lifo: Cell::new(None),
     };
     CONTEXT.with(|slot| slot.set(&context as *const WorkerContext));
     let _guard = ContextGuard;
 
+    let counters = &shared.counters[index];
     let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1));
     let mut lifo_streak = 0u32;
     let mut tick = 0u32;
@@ -429,6 +493,7 @@ fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
         // starve externally spawned tasks.
         if tick.is_multiple_of(61) {
             if let Steal::Success(task) = shared.injector.steal_batch_and_pop(&context.deque) {
+                counters.injector_pops.incr();
                 task.run();
                 continue;
             }
@@ -438,6 +503,7 @@ fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
         if lifo_streak < LIFO_STREAK_LIMIT {
             if let Some(task) = context.lifo.take() {
                 lifo_streak += 1;
+                counters.lifo_hits.incr();
                 task.run();
                 continue;
             }
@@ -450,6 +516,7 @@ fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
 
         // 2. Local FIFO deque.
         if let Some(task) = context.deque.pop() {
+            counters.local_pops.incr();
             task.run();
             continue;
         }
@@ -495,6 +562,7 @@ fn worker_loop(index: usize, deque: Deque<Arc<Task>>, shared: Arc<Shared>) {
                 continue;
             }
 
+            counters.parks.incr();
             shared.parkers[index].park(PARK_TIMEOUT);
             if shared.unregister_parked(index) {
                 // Timed out (or spurious wake): nobody claimed the bit.
@@ -512,9 +580,13 @@ fn steal_work(
     shared: &Shared,
     rng: &mut Rng,
 ) -> Option<Arc<Task>> {
+    let counters = &shared.counters[index];
     loop {
         match shared.injector.steal_batch_and_pop(local) {
-            Steal::Success(task) => return Some(task),
+            Steal::Success(task) => {
+                counters.injector_pops.incr();
+                return Some(task);
+            }
             Steal::Empty => break,
             Steal::Retry => {}
         }
@@ -528,7 +600,10 @@ fn steal_work(
         }
         loop {
             match shared.stealers[victim].steal_batch_and_pop(local) {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => {
+                    counters.sibling_steals.incr();
+                    return Some(task);
+                }
                 Steal::Empty => break,
                 Steal::Retry => {}
             }

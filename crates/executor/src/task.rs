@@ -95,6 +95,7 @@ impl Task {
         // SCHEDULED -> RUNNING. The task can only be dequeued once per
         // schedule, so this cannot race with another `run`.
         self.state.store(RUNNING, Ordering::Release);
+        self.shared.record_poll();
 
         let waker = Waker::from(self.clone());
         let mut cx = Context::from_waker(&waker);
@@ -124,6 +125,7 @@ impl Task {
 
         if poll.is_ready() {
             self.state.store(DONE, Ordering::Release);
+            self.shared.record_completion();
             return;
         }
 

@@ -106,6 +106,13 @@ impl System {
         &self.machines
     }
 
+    /// Participant names, indexed like [`Self::machines`]. Channel
+    /// `roles()[i] → roles()[j]` lives at index `i * n + j` in a
+    /// [`Config`]'s channel vector and in [`Report::max_depths`].
+    pub fn roles(&self) -> &[Name] {
+        &self.roles
+    }
+
     /// The interned label table (resolve a [`LabelId`] from a
     /// [`Config`]'s channel contents back to its name).
     pub fn labels(&self) -> &[Name] {
@@ -191,6 +198,34 @@ pub struct Report {
     /// False if some send was disabled by a full channel: the verdict is
     /// then only conclusive for executions that stay within bound `k`.
     pub exhaustive: bool,
+    /// Maximum queue depth each channel reached during exploration,
+    /// indexed `from * n + to` like [`Config::channels`]. When
+    /// [`Self::exhaustive`] is true these are *tight static bounds*: no
+    /// execution of the system can ever hold more messages in flight on
+    /// that channel, so a runtime observing `depth > max_depths[c]`
+    /// has witnessed a verification bug.
+    pub max_depths: Vec<usize>,
+}
+
+impl Report {
+    /// The channels that ever carried a message, as
+    /// `(from, to, max_depth)` triples resolved against `system` (which
+    /// must be the system this report was produced from).
+    pub fn channel_bounds<'a>(&'a self, system: &'a System) -> Vec<(&'a Name, &'a Name, usize)> {
+        let n = system.roles().len();
+        assert_eq!(self.max_depths.len(), n * n, "report/system mismatch");
+        let mut bounds = Vec::new();
+        for (index, &depth) in self.max_depths.iter().enumerate() {
+            if depth > 0 {
+                bounds.push((
+                    &system.roles()[index / n],
+                    &system.roles()[index % n],
+                    depth,
+                ));
+            }
+        }
+        bounds
+    }
 }
 
 /// One machine transition with peer and label pre-resolved to indices,
@@ -247,6 +282,7 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
 
     let mut transitions = 0usize;
     let mut exhaustive = true;
+    let mut max_depths = vec![0usize; machine_count * machine_count];
 
     while let Some(config) = queue.pop_front() {
         let mut enabled_any = false;
@@ -264,6 +300,10 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
                         let mut next = config.clone();
                         next.states[index] = action.target;
                         next.channels[channel].push_back(action.label);
+                        let depth = next.channels[channel].len();
+                        if depth > max_depths[channel] {
+                            max_depths[channel] = depth;
+                        }
                         enabled_any = true;
                         transitions += 1;
                         if !seen.contains(&next) {
@@ -336,6 +376,7 @@ pub fn check(system: &System, k: usize) -> Result<Report, Violation> {
         configurations: seen.len(),
         transitions,
         exhaustive,
+        max_depths,
     })
 }
 
@@ -446,6 +487,39 @@ mod tests {
         ])
         .unwrap();
         check(&system, 1).unwrap();
+    }
+
+    #[test]
+    fn max_depths_reports_tight_channel_bounds() {
+        // Ping-pong alternates strictly: no channel ever holds more than
+        // one message even with a generous bound.
+        let system =
+            system_from_locals(&[("a", "b!ping.b?pong.end"), ("b", "a?ping.a!pong.end")]).unwrap();
+        let report = check(&system, 4).unwrap();
+        assert!(report.exhaustive);
+        let bounds = report.channel_bounds(&system);
+        assert_eq!(bounds.len(), 2);
+        assert!(bounds.iter().all(|&(_, _, depth)| depth == 1));
+
+        // The optimised double-buffering kernel keeps two `ready` tokens
+        // in flight towards the source; the bound must see both.
+        let system = system_from_locals(&[
+            ("s", "rec x . k?ready . k!value . x"),
+            (
+                "k",
+                "s!ready . rec x . s!ready . s?value . t?ready . t!value . x",
+            ),
+            ("t", "rec x . k!ready . k?value . x"),
+        ])
+        .unwrap();
+        let report = check(&system, 2).unwrap();
+        assert!(report.exhaustive);
+        let k_to_s = report
+            .channel_bounds(&system)
+            .into_iter()
+            .find(|(from, to, _)| from.as_str() == "k" && to.as_str() == "s")
+            .expect("k -> s channel used");
+        assert_eq!(k_to_s.2, 2);
     }
 
     #[test]

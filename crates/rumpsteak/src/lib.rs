@@ -84,6 +84,12 @@ pub mod role;
 pub mod serialize;
 pub mod session;
 
+/// Re-export of the observability layer, used by the [`roles!`] macro's
+/// `bounds` clause and available to applications that want to inspect
+/// channel watermarks or session traces directly. Everything in it is a
+/// no-op unless the `telemetry` cargo feature is enabled.
+pub use dep_telemetry as telemetry;
+
 use std::fmt;
 
 pub use role::{Message, Role, Route};

@@ -11,7 +11,24 @@ use std::marker::PhantomData;
 use std::task::Poll;
 
 use crate::role::{Message, Role, Route};
+use crate::telemetry;
 use crate::{Error, Result};
+
+/// Records a session trace event for types `(role, peer, label)`.
+/// Identifies participants via `type_name` (no extra trait bounds) with
+/// module paths and generics stripped; compiles away without the
+/// `telemetry` feature.
+#[inline]
+fn trace_event<Q, R, L>(kind: telemetry::trace::Kind) {
+    if telemetry::ENABLED {
+        telemetry::trace::event(
+            kind,
+            telemetry::short_type_name(std::any::type_name::<Q>()),
+            telemetry::short_type_name(std::any::type_name::<R>()),
+            telemetry::short_type_name(std::any::type_name::<L>()),
+        );
+    }
+}
 
 /// The private capability to act as role `Q` within one session: an
 /// exclusive borrow of the role struct.
@@ -81,7 +98,10 @@ where
             .route()
             .send(Message::upcast(label))
             .map_err(|_| Error::ChannelClosed)
-            .map(|()| S::from_state(self.state));
+            .map(|()| {
+                trace_event::<Q, R, L>(telemetry::trace::Kind::Send);
+                S::from_state(self.state)
+            });
         std::future::ready(result)
     }
 }
@@ -157,6 +177,7 @@ where
             Ok(label) => label,
             Err(_) => return Poll::Ready(Err(Error::UnexpectedMessage)),
         };
+        trace_event::<Q, R, L>(telemetry::trace::Kind::Receive);
         let state = this.state.take().expect("checked above");
         Poll::Ready(Ok((label, S::from_state(state))))
     }
@@ -207,7 +228,10 @@ where
             .route()
             .send(Message::upcast(label))
             .map_err(|_| Error::ChannelClosed)
-            .map(|()| C::Continuation::from_state(self.state));
+            .map(|()| {
+                trace_event::<Q, R, L>(telemetry::trace::Kind::Select);
+                C::Continuation::from_state(self.state)
+            });
         std::future::ready(result)
     }
 }
@@ -291,7 +315,12 @@ where
         };
         let state = this.state.take().expect("checked above");
         Poll::Ready(match C::downcast(state, message) {
-            Ok(choices) => Ok(choices),
+            Ok(choices) => {
+                // The concrete label is buried in the enum; record the
+                // choice type, which names the branch point.
+                trace_event::<Q, R, C>(telemetry::trace::Kind::Branch);
+                Ok(choices)
+            }
             Err(_) => Err(Error::UnexpectedMessage),
         })
     }

@@ -1,0 +1,288 @@
+//! Per-link channel statistics and the k-MC bound registry.
+//!
+//! Session links are SPSC rings between two *named* roles; the executor
+//! registers each direction here as `from → to` when a labelled link is
+//! created, and the generated `connect()` (or a hand-written `roles!`
+//! `bounds` clause) registers the statically verified k-MC bound for the
+//! same pair. All instances of a named link share one `LinkCell`, so
+//! the reported high-watermark is the maximum over every session ever
+//! run — which is exactly the quantity the static bound promises to cap.
+//!
+//! Hot-path updates (`LinkStats::record_depth` and friends) are relaxed
+//! atomic RMWs on the shared cell; the global registry mutex is touched
+//! only on registration (link creation) and snapshots, never per message.
+
+#[cfg(feature = "telemetry")]
+use std::collections::HashMap;
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "telemetry")]
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[cfg(feature = "telemetry")]
+use crate::Counter;
+
+/// Shared statistics cell for one directed link `from → to`.
+#[cfg(feature = "telemetry")]
+struct LinkCell {
+    from: &'static str,
+    to: &'static str,
+    /// Maximum observed occupancy (messages in flight) across instances.
+    high_watermark: Counter,
+    /// Ring growth events.
+    grows: Counter,
+    /// Waker-handoff CAS retries (contended registration/wake races).
+    waker_retries: Counter,
+    /// Link instances created under this name pair.
+    instances: Counter,
+    /// Statically verified k-MC bound; 0 = not registered.
+    bound: AtomicU64,
+}
+
+#[cfg(feature = "telemetry")]
+type Registry = Mutex<HashMap<(&'static str, &'static str), Arc<LinkCell>>>;
+
+#[cfg(feature = "telemetry")]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+#[cfg(feature = "telemetry")]
+fn cell(from: &'static str, to: &'static str) -> Arc<LinkCell> {
+    registry()
+        .lock()
+        .expect("channel registry poisoned")
+        .entry((from, to))
+        .or_insert_with(|| {
+            Arc::new(LinkCell {
+                from,
+                to,
+                high_watermark: Counter::new(),
+                grows: Counter::new(),
+                waker_retries: Counter::new(),
+                instances: Counter::new(),
+                bound: AtomicU64::new(0),
+            })
+        })
+        .clone()
+}
+
+/// Hot-path statistics handle stored inside each instrumented SPSC ring.
+///
+/// A ZST in disabled builds; [`Default`] yields an *unlabelled* handle
+/// whose recorders are no-ops even with telemetry on (anonymous channels
+/// — join handles, baselines — stay untracked).
+#[derive(Clone, Default)]
+pub struct LinkStats {
+    #[cfg(feature = "telemetry")]
+    cell: Option<Arc<LinkCell>>,
+}
+
+impl LinkStats {
+    /// Records an observed queue depth (messages in flight immediately
+    /// after a send), raising the link's high-watermark.
+    ///
+    /// In debug builds this also asserts the depth stays within the
+    /// registered k-MC bound, turning the checker's static guarantee into
+    /// a runtime invariant; release builds only report the violation via
+    /// [`snapshot`] (`high_watermark > kmc_bound`).
+    #[inline]
+    pub fn record_depth(&self, depth: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.high_watermark.record_max(depth);
+            #[cfg(debug_assertions)]
+            {
+                let bound = cell.bound.load(Ordering::Relaxed);
+                debug_assert!(
+                    bound == 0 || depth <= bound,
+                    "channel {} -> {} exceeded its verified k-MC bound: \
+                     depth {depth} > k = {bound}",
+                    cell.from,
+                    cell.to,
+                );
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = depth;
+    }
+
+    /// Records one ring growth event.
+    #[inline]
+    pub fn record_grow(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.grows.incr();
+        }
+    }
+
+    /// Records one waker-handoff CAS retry.
+    #[inline]
+    pub fn record_waker_retry(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.waker_retries.incr();
+        }
+    }
+}
+
+/// Registers (or re-attaches to) the directed link `from → to` and
+/// returns its hot-path handle. No-op handle in disabled builds.
+pub fn register(from: &'static str, to: &'static str) -> LinkStats {
+    #[cfg(feature = "telemetry")]
+    {
+        let cell = cell(from, to);
+        cell.instances.incr();
+        LinkStats { cell: Some(cell) }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (from, to);
+        LinkStats::default()
+    }
+}
+
+/// Registers the statically verified k-MC bound for the directed link
+/// `from → to`. Re-registration keeps the larger bound (two protocols
+/// sharing role names must both hold, so the looser cap is the one every
+/// observation is checked against).
+pub fn set_bound(from: &'static str, to: &'static str, k: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if k == 0 {
+            return;
+        }
+        cell(from, to).bound.fetch_max(k, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (from, to, k);
+}
+
+/// Point-in-time statistics for one directed link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Sending role name.
+    pub from: &'static str,
+    /// Receiving role name.
+    pub to: &'static str,
+    /// Maximum observed occupancy across all instances.
+    pub high_watermark: u64,
+    /// Ring growth events.
+    pub grows: u64,
+    /// Waker-handoff CAS retries.
+    pub waker_retries: u64,
+    /// Link instances created under this name pair.
+    pub instances: u64,
+    /// Registered k-MC bound, if any.
+    pub kmc_bound: Option<u64>,
+}
+
+impl LinkSnapshot {
+    /// Headroom between the static bound and the observed watermark:
+    /// `Some(bound - high_watermark)` when a bound is registered and
+    /// holds, `None` when unregistered or violated.
+    pub fn slack(&self) -> Option<u64> {
+        self.kmc_bound
+            .and_then(|k| k.checked_sub(self.high_watermark))
+    }
+
+    /// True when a bound is registered and the observation exceeds it.
+    pub fn violates_bound(&self) -> bool {
+        matches!(self.kmc_bound, Some(k) if self.high_watermark > k)
+    }
+}
+
+/// Snapshots every registered link, sorted by `(from, to)`. Empty in
+/// disabled builds.
+pub fn snapshot() -> Vec<LinkSnapshot> {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut links: Vec<LinkSnapshot> = registry()
+            .lock()
+            .expect("channel registry poisoned")
+            .values()
+            .map(|cell| {
+                let bound = cell.bound.load(Ordering::Relaxed);
+                LinkSnapshot {
+                    from: cell.from,
+                    to: cell.to,
+                    high_watermark: cell.high_watermark.get(),
+                    grows: cell.grows.get(),
+                    waker_retries: cell.waker_retries.get(),
+                    instances: cell.instances.get(),
+                    kmc_bound: (bound > 0).then_some(bound),
+                }
+            })
+            .collect();
+        links.sort_by_key(|link| (link.from, link.to));
+        links
+    }
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+/// Clears the registry (tests and trace tools isolating phases).
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    registry()
+        .lock()
+        .expect("channel registry poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_and_bound_round_trip() {
+        reset();
+        let stats = register("TestA", "TestB");
+        set_bound("TestA", "TestB", 3);
+        stats.record_depth(1);
+        stats.record_depth(3);
+        stats.record_depth(2);
+        stats.record_grow();
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links
+                .iter()
+                .find(|l| l.from == "TestA" && l.to == "TestB")
+                .expect("registered link in snapshot");
+            assert_eq!(link.high_watermark, 3);
+            assert_eq!(link.kmc_bound, Some(3));
+            assert_eq!(link.grows, 1);
+            assert_eq!(link.slack(), Some(0));
+            assert!(!link.violates_bound());
+        } else {
+            assert!(links.is_empty());
+        }
+        reset();
+    }
+
+    #[test]
+    fn instances_merge_into_one_cell() {
+        reset();
+        let first = register("MergeA", "MergeB");
+        let second = register("MergeA", "MergeB");
+        first.record_depth(2);
+        second.record_depth(5);
+        if crate::ENABLED {
+            let links = snapshot();
+            let link = links.iter().find(|l| l.from == "MergeA").unwrap();
+            assert_eq!(link.instances, 2);
+            assert_eq!(link.high_watermark, 5);
+        }
+        reset();
+    }
+
+    #[test]
+    fn unlabelled_stats_are_inert() {
+        let stats = LinkStats::default();
+        stats.record_depth(1000);
+        stats.record_grow();
+        stats.record_waker_retry();
+        // No panic, nothing registered.
+    }
+}

@@ -1,0 +1,472 @@
+//! Session event tracing: per-thread lock-free bounded rings.
+//!
+//! Every session `Send`/`Receive`/`Select`/`Branch` future calls
+//! [`event`] when it completes. Events land in a ring owned by the
+//! *calling thread* (single writer, no contention, no locks on the hot
+//! path); rings are bounded and **drop-oldest** — a slow consumer can
+//! never stall the workload, and the number of overwritten events is
+//! reported per thread so a truncated trace is never mistaken for a
+//! complete one.
+//!
+//! Each slot is a group of `AtomicU64` words guarded by a per-slot
+//! seqlock sequence word, so a drain racing a writer reads only atomic
+//! words (no data-race UB) and discards any slot whose sequence moved
+//! mid-read. Role/peer/label strings are `&'static str` (they come from
+//! `std::any::type_name` or string literals); the ring stores their
+//! pointer and length as integers and reconstructs the `&'static str`
+//! only after the seqlock validates that both words came from the same
+//! write.
+//!
+//! [`drain`] collects all rings into [`ThreadTrace`]s and
+//! [`chrome_trace_json`] renders them in the Chrome trace-event format
+//! accepted by `chrome://tracing` and Perfetto.
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(feature = "telemetry")]
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Session events per thread ring; the oldest events are overwritten
+/// once a thread exceeds this many undrained events.
+pub const RING_CAPACITY: usize = 8192;
+
+/// The four session operations that emit trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A message was enqueued (`Send` resolved).
+    Send,
+    /// A message was dequeued (`Receive` resolved).
+    Receive,
+    /// An internal choice was made and its label sent (`Select`).
+    Select,
+    /// An external choice was received (`Branch` resolved).
+    Branch,
+}
+
+impl Kind {
+    /// Stable lowercase name, used as the Chrome trace event category.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kind::Send => "send",
+            Kind::Receive => "receive",
+            Kind::Select => "select",
+            Kind::Branch => "branch",
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn from_u8(byte: u8) -> Kind {
+        match byte {
+            0 => Kind::Send,
+            1 => Kind::Receive,
+            2 => Kind::Select,
+            _ => Kind::Branch,
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn as_u8(self) -> u8 {
+        match self {
+            Kind::Send => 0,
+            Kind::Receive => 1,
+            Kind::Select => 2,
+            Kind::Branch => 3,
+        }
+    }
+}
+
+/// One recorded session event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process trace epoch (first event or first
+    /// call to [`now_ns`], whichever came first).
+    pub t_ns: u64,
+    /// Operation kind.
+    pub kind: Kind,
+    /// Role executing the operation.
+    pub role: &'static str,
+    /// Peer role on the other end of the link.
+    pub peer: &'static str,
+    /// Message or choice label.
+    pub label: &'static str,
+}
+
+/// All events drained from one thread's ring, oldest first.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    /// Thread name, or `thread-<n>` for unnamed threads.
+    pub thread: String,
+    /// Surviving events in timestamp order for this thread.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten (ring full) or torn (overwritten mid-drain)
+    /// and therefore missing from `events`.
+    pub dropped: u64,
+}
+
+/// Nanoseconds since the process trace epoch. The epoch is pinned the
+/// first time any thread records or asks for a timestamp, so all rings
+/// share one clock. Always available (even without the feature) so
+/// callers can stamp their own phase markers consistently.
+pub fn now_ns() -> u64 {
+    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// Records one session event into the calling thread's ring. Compiles
+/// to nothing without the `telemetry` feature.
+#[inline]
+pub fn event(kind: Kind, role: &'static str, peer: &'static str, label: &'static str) {
+    #[cfg(feature = "telemetry")]
+    enabled::event(kind, role, peer, label);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (kind, role, peer, label);
+}
+
+/// Drains every thread ring into per-thread traces (oldest first),
+/// advancing each ring's read cursor. Empty in disabled builds.
+pub fn drain() -> Vec<ThreadTrace> {
+    #[cfg(feature = "telemetry")]
+    return enabled::drain();
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+/// Renders drained traces as a Chrome trace-event JSON document
+/// (instant events, one `tid` per thread), loadable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(traces: &[ThreadTrace]) -> String {
+    let mut out =
+        String::with_capacity(256 + traces.iter().map(|t| t.events.len()).sum::<usize>() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, trace) in traces.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // Thread name metadata record.
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"args\":{\"name\":");
+        push_json_string(&mut out, &trace.thread);
+        out.push_str("}}");
+        for event in &trace.events {
+            out.push_str(",{\"name\":");
+            let name = format!(
+                "{} {} {}",
+                event.role,
+                match event.kind {
+                    Kind::Send | Kind::Select => "->",
+                    Kind::Receive | Kind::Branch => "<-",
+                },
+                event.peer
+            );
+            push_json_string(&mut out, &name);
+            out.push_str(",\"cat\":\"");
+            out.push_str(event.kind.as_str());
+            out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"ts\":");
+            // Chrome expects microseconds; keep nanosecond precision as a
+            // fraction.
+            out.push_str(&format!("{:.3}", event.t_ns as f64 / 1000.0));
+            out.push_str(",\"args\":{\"label\":");
+            push_json_string(&mut out, event.label);
+            out.push_str(",\"peer\":");
+            push_json_string(&mut out, event.peer);
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(feature = "telemetry")]
+mod enabled {
+    use super::*;
+
+    /// One event slot: six atomic words validated by a per-slot seqlock.
+    ///
+    /// `seq` is odd while the writer is mid-update and even when stable;
+    /// the write of global index `i` leaves `seq == 2 * (i / CAPACITY + 1)`,
+    /// so a drain can tell whether the slot still holds the event it is
+    /// looking for or has been lapped.
+    struct Slot {
+        seq: AtomicU64,
+        t_ns: AtomicU64,
+        role_ptr: AtomicU64,
+        peer_ptr: AtomicU64,
+        label_ptr: AtomicU64,
+        /// `role_len | peer_len << 16 | label_len << 32 | kind << 48`.
+        lens_kind: AtomicU64,
+    }
+
+    impl Slot {
+        fn new() -> Slot {
+            Slot {
+                seq: AtomicU64::new(0),
+                t_ns: AtomicU64::new(0),
+                role_ptr: AtomicU64::new(0),
+                peer_ptr: AtomicU64::new(0),
+                label_ptr: AtomicU64::new(0),
+                lens_kind: AtomicU64::new(0),
+            }
+        }
+    }
+
+    struct Ring {
+        thread: String,
+        /// Next global write index (monotonic; slot = index % capacity).
+        tail: AtomicU64,
+        /// Next global index to hand out on drain.
+        drained: AtomicU64,
+        slots: Box<[Slot]>,
+    }
+
+    // The ring only ever stores pointers to `&'static str` data and
+    // integers; it is safe to share across threads (all access is via
+    // atomics).
+    unsafe impl Send for Ring {}
+    unsafe impl Sync for Ring {}
+
+    fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    }
+
+    fn ring_for_current_thread() -> Arc<Ring> {
+        RING.with(|cell| {
+            cell.get_or_init(|| {
+                let mut rings = registry().lock().expect("trace registry poisoned");
+                let thread = std::thread::current()
+                    .name()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("thread-{}", rings.len()));
+                let ring = Arc::new(Ring {
+                    thread,
+                    tail: AtomicU64::new(0),
+                    drained: AtomicU64::new(0),
+                    slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+                });
+                rings.push(ring.clone());
+                ring
+            })
+            .clone()
+        })
+    }
+
+    pub(super) fn event(kind: Kind, role: &'static str, peer: &'static str, label: &'static str) {
+        let t_ns = now_ns();
+        let ring = ring_for_current_thread();
+        let index = ring.tail.load(Ordering::Relaxed);
+        let slot = &ring.slots[(index % RING_CAPACITY as u64) as usize];
+
+        // Seqlock write: mark the slot unstable *before* touching its
+        // data words so a concurrent drain can never validate a torn
+        // read. The release fence keeps the odd store ahead of the data
+        // stores; the final release store publishes them.
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.role_ptr.store(role.as_ptr() as u64, Ordering::Relaxed);
+        slot.peer_ptr.store(peer.as_ptr() as u64, Ordering::Relaxed);
+        slot.label_ptr
+            .store(label.as_ptr() as u64, Ordering::Relaxed);
+        let lens_kind = role.len() as u64
+            | (peer.len() as u64) << 16
+            | (label.len() as u64) << 32
+            | (kind.as_u8() as u64) << 48;
+        slot.lens_kind.store(lens_kind, Ordering::Relaxed);
+        slot.seq.store(seq + 2, Ordering::Release);
+
+        // Publishing the new tail last means drains only look at slots
+        // that have completed at least one write.
+        ring.tail.store(index + 1, Ordering::Release);
+    }
+
+    /// Reconstructs a `&'static str` from a validated (ptr, len) pair.
+    ///
+    /// # Safety
+    /// Both words must come from the same seqlock-validated slot write,
+    /// in which case they are exactly the pieces of a live `&'static str`
+    /// the writer held.
+    unsafe fn rebuild_str(ptr: u64, len: usize) -> &'static str {
+        std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr as *const u8, len))
+    }
+
+    fn read_slot(slot: &Slot, expected_seq: u64) -> Option<TraceEvent> {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq != expected_seq {
+            // Mid-write (odd) or already lapped by a newer event.
+            return None;
+        }
+        let t_ns = slot.t_ns.load(Ordering::Relaxed);
+        let role_ptr = slot.role_ptr.load(Ordering::Relaxed);
+        let peer_ptr = slot.peer_ptr.load(Ordering::Relaxed);
+        let label_ptr = slot.label_ptr.load(Ordering::Relaxed);
+        let lens_kind = slot.lens_kind.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != expected_seq {
+            return None;
+        }
+        let role_len = (lens_kind & 0xffff) as usize;
+        let peer_len = (lens_kind >> 16 & 0xffff) as usize;
+        let label_len = (lens_kind >> 32 & 0xffff) as usize;
+        let kind = Kind::from_u8((lens_kind >> 48) as u8);
+        // SAFETY: the seqlock round-trip above proves every word read
+        // belongs to one completed write of this slot.
+        let (role, peer, label) = unsafe {
+            (
+                rebuild_str(role_ptr, role_len),
+                rebuild_str(peer_ptr, peer_len),
+                rebuild_str(label_ptr, label_len),
+            )
+        };
+        Some(TraceEvent {
+            t_ns,
+            kind,
+            role,
+            peer,
+            label,
+        })
+    }
+
+    pub(super) fn drain() -> Vec<ThreadTrace> {
+        let rings = registry().lock().expect("trace registry poisoned");
+        let mut traces = Vec::with_capacity(rings.len());
+        for ring in rings.iter() {
+            let tail = ring.tail.load(Ordering::Acquire);
+            let drained = ring.drained.load(Ordering::Relaxed);
+            // Oldest index still resident in the ring.
+            let start = drained.max(tail.saturating_sub(RING_CAPACITY as u64));
+            let mut dropped = start - drained;
+            let mut events = Vec::with_capacity((tail - start) as usize);
+            for index in start..tail {
+                let slot = &ring.slots[(index % RING_CAPACITY as u64) as usize];
+                let expected_seq = 2 * (index / RING_CAPACITY as u64 + 1);
+                match read_slot(slot, expected_seq) {
+                    Some(event) => events.push(event),
+                    // Lapped or torn while we were reading: the writer
+                    // has moved on, count it as dropped.
+                    None => dropped += 1,
+                }
+            }
+            ring.drained.store(tail, Ordering::Relaxed);
+            if !events.is_empty() || dropped > 0 {
+                traces.push(ThreadTrace {
+                    thread: ring.thread.clone(),
+                    events,
+                    dropped,
+                });
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_drain() {
+        let _ = drain(); // isolate from other tests on this thread
+        event(Kind::Send, "RoleA", "RoleB", "Ping");
+        event(Kind::Receive, "RoleB", "RoleA", "Ping");
+        let traces = drain();
+        if crate::ENABLED {
+            let events: Vec<_> = traces.iter().flat_map(|t| t.events.iter()).collect();
+            assert!(events.len() >= 2);
+            let send = events
+                .iter()
+                .find(|e| e.kind == Kind::Send && e.label == "Ping")
+                .expect("send event recorded");
+            assert_eq!(send.role, "RoleA");
+            assert_eq!(send.peer, "RoleB");
+        } else {
+            assert!(traces.is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        if !crate::ENABLED {
+            return;
+        }
+        std::thread::spawn(|| {
+            let overflow = 100;
+            for i in 0..RING_CAPACITY + overflow {
+                let label = if i % 2 == 0 { "Even" } else { "Odd" };
+                event(Kind::Send, "Flood", "Sink", label);
+            }
+            let traces = drain();
+            let trace = traces
+                .iter()
+                .find(|t| t.events.iter().any(|e| e.role == "Flood"))
+                .expect("flood ring drained");
+            assert_eq!(trace.events.len(), RING_CAPACITY);
+            assert_eq!(trace.dropped, overflow as u64);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_thread() {
+        let first = now_ns();
+        let second = now_ns();
+        assert!(second >= first);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let traces = vec![ThreadTrace {
+            thread: "worker-0".into(),
+            events: vec![TraceEvent {
+                t_ns: 1500,
+                kind: Kind::Send,
+                role: "S",
+                peer: "T",
+                label: "Value",
+            }],
+            dropped: 0,
+        }];
+        let json = chrome_trace_json(&traces);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"cat\":\"send\""));
+        assert!(json.contains("\"label\":\"Value\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("worker-0"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

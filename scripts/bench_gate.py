@@ -26,17 +26,46 @@ current run), 2 usage/IO error.
 
 import argparse
 import json
+import math
 import sys
 
 
-def best_ns_per_op(report):
-    """Maps protocol -> minimum ns/op across the sweep."""
+def best_ns_per_op(report, label):
+    """Maps protocol -> minimum ns/op across the sweep.
+
+    Tolerant by design: artifacts carry metadata and optional sections
+    (provenance keys, a `telemetry` object in instrumented runs) beyond
+    the result rows, and may grow more. Anything that is not a
+    well-formed numeric result row is skipped with a note, never a
+    crash — the gate's verdict must come from the timings alone.
+    """
     best = {}
-    for result in report.get("results", []):
-        protocol = result["protocol"]
-        ns = float(result["ns_per_op"])
+    skipped = 0
+    results = report.get("results", [])
+    if not isinstance(results, list):
+        print(f"bench_gate: {label}: `results` is not a list", file=sys.stderr)
+        return best
+    for result in results:
+        if not isinstance(result, dict):
+            skipped += 1
+            continue
+        protocol = result.get("protocol")
+        try:
+            ns = float(result.get("ns_per_op"))
+        except (TypeError, ValueError):
+            skipped += 1
+            continue
+        if not isinstance(protocol, str) or not math.isfinite(ns):
+            skipped += 1
+            continue
         if protocol not in best or ns < best[protocol]:
             best[protocol] = ns
+    if skipped:
+        print(
+            f"bench_gate: {label}: skipped {skipped} non-numeric or "
+            f"malformed result row(s)",
+            file=sys.stderr,
+        )
     return best
 
 
@@ -72,8 +101,8 @@ def main():
         print("bench_gate: --tolerance must be positive", file=sys.stderr)
         sys.exit(2)
 
-    baseline = best_ns_per_op(load(args.baseline))
-    current = best_ns_per_op(load(args.current))
+    baseline = best_ns_per_op(load(args.baseline), "baseline")
+    current = best_ns_per_op(load(args.current), "current")
     if not baseline:
         print("bench_gate: baseline has no results", file=sys.stderr)
         sys.exit(2)
@@ -82,8 +111,15 @@ def main():
     for prefix in args.require_prefix:
         for name, run in (("baseline", baseline), ("current", current)):
             if not any(protocol.startswith(prefix) for protocol in run):
+                known = sorted(p for p in baseline if p.startswith(prefix))
+                hint = (
+                    f" (baseline has: {', '.join(known)})"
+                    if known and name == "current"
+                    else ""
+                )
                 failures.append(
-                    f"required protocol prefix `{prefix}` missing from {name} run"
+                    f"required protocol prefix `{prefix}` missing from "
+                    f"{name} run{hint}"
                 )
 
     print(f"{'protocol':<22} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")

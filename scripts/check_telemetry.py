@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Schema check for the `telemetry` section of `fig6 --json --telemetry`.
+
+Usage:
+    check_telemetry.py ARTIFACT.json
+
+Validates the instrumented artifact CI produces with
+`fig6 --json --quick --telemetry`:
+
+* provenance metadata is present (`git_revision`, `rustc_version`,
+  `generated_at`, `host_parallelism`),
+* `telemetry.scheduler` is a non-empty sweep of per-runtime snapshots,
+  each with `threads` worker counter blocks plus an `external` block,
+  every block carrying the full counter glossary as non-negative
+  integers, and at least one worker having actually run tasks,
+* `telemetry.channels` is a non-empty list of per-link rows; every row
+  with a registered k-MC bound satisfies `high_watermark <= kmc_bound`,
+  and at least one row carries a bound (the session layer must have
+  registered the statically verified depths, not just counted).
+
+Exit codes: 0 pass, 1 schema violation, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+COUNTERS = (
+    "spawns",
+    "completions",
+    "polls",
+    "lifo_hits",
+    "local_pops",
+    "injector_pops",
+    "sibling_steals",
+    "spills",
+    "parks",
+    "unparks",
+)
+
+CHANNEL_COUNTS = ("high_watermark", "grows", "waker_retries", "instances")
+
+
+def fail(errors):
+    print("check_telemetry: schema violations:", file=sys.stderr)
+    for error in errors:
+        print(f"  {error}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_counter_block(block, where, errors):
+    if not isinstance(block, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for key in COUNTERS:
+        if not is_count(block.get(key)):
+            errors.append(
+                f"{where}: counter `{key}` missing or not a non-negative integer"
+            )
+
+
+def check_scheduler(scheduler, errors):
+    if not isinstance(scheduler, list) or not scheduler:
+        errors.append("telemetry.scheduler: missing or empty")
+        return
+    for i, entry in enumerate(scheduler):
+        where = f"telemetry.scheduler[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        threads = entry.get("threads")
+        workers = entry.get("workers")
+        if not is_count(threads) or threads == 0:
+            errors.append(f"{where}.threads: not a positive integer")
+        if not isinstance(workers, list):
+            errors.append(f"{where}.workers: not a list")
+            continue
+        if is_count(threads) and len(workers) != threads:
+            errors.append(
+                f"{where}: {len(workers)} worker blocks for threads={threads}"
+            )
+        for j, worker in enumerate(workers):
+            check_counter_block(worker, f"{where}.workers[{j}]", errors)
+        check_counter_block(entry.get("external"), f"{where}.external", errors)
+    # The sweep must show actual scheduling, not ten columns of zeros.
+    polls = sum(
+        worker.get("polls", 0)
+        for entry in scheduler
+        if isinstance(entry, dict)
+        for worker in entry.get("workers", [])
+        if isinstance(worker, dict) and is_count(worker.get("polls"))
+    )
+    if polls == 0:
+        errors.append("telemetry.scheduler: no worker recorded any polls")
+
+
+def check_channels(channels, errors):
+    if not isinstance(channels, list) or not channels:
+        errors.append("telemetry.channels: missing or empty")
+        return
+    bounded = 0
+    for i, link in enumerate(channels):
+        where = f"telemetry.channels[{i}]"
+        if not isinstance(link, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = f"{link.get('from')} -> {link.get('to')}"
+        for key in ("from", "to"):
+            if not isinstance(link.get(key), str) or not link[key]:
+                errors.append(f"{where}.{key}: missing or not a string")
+        for key in CHANNEL_COUNTS:
+            if not is_count(link.get(key)):
+                errors.append(
+                    f"{where} ({name}).{key}: missing or not a "
+                    f"non-negative integer"
+                )
+        bound = link.get("kmc_bound")
+        if bound is None:
+            continue
+        if not is_count(bound) or bound == 0:
+            errors.append(f"{where} ({name}).kmc_bound: not a positive integer")
+            continue
+        bounded += 1
+        watermark = link.get("high_watermark")
+        if is_count(watermark) and watermark > bound:
+            errors.append(
+                f"{where} ({name}): high_watermark {watermark} exceeds "
+                f"verified k-MC bound {bound}"
+            )
+    if bounded == 0:
+        errors.append(
+            "telemetry.channels: no link carries a registered k-MC bound"
+        )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"check_telemetry: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+    for key in ("git_revision", "rustc_version", "generated_at"):
+        if not isinstance(report.get(key), str) or not report[key]:
+            errors.append(f"`{key}`: missing or not a non-empty string")
+    if not is_count(report.get("host_parallelism")):
+        errors.append("`host_parallelism`: missing or not a non-negative integer")
+
+    telemetry = report.get("telemetry")
+    if not isinstance(telemetry, dict):
+        errors.append("`telemetry`: missing or not an object")
+        fail(errors)
+
+    check_scheduler(telemetry.get("scheduler"), errors)
+    check_channels(telemetry.get("channels"), errors)
+    if errors:
+        fail(errors)
+
+    scheduler = telemetry["scheduler"]
+    channels = telemetry["channels"]
+    bounded = sum(1 for link in channels if link.get("kmc_bound") is not None)
+    print(
+        f"check_telemetry: ok — {len(scheduler)} scheduler sweep(s), "
+        f"{len(channels)} channel(s), {bounded} with verified k-MC bounds"
+    )
+
+
+if __name__ == "__main__":
+    main()
