@@ -134,8 +134,10 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
     let (ring_tasks, ring_laps, mesh_peers, mesh_rounds, stream_n, buffer_n, fft_n) =
         (64, 100, 12, 50, 50, 10000, 1000);
     // Channel-layer microbenches: rounds per ping-pong run, messages per
-    // burst run (see `bench::channels`).
-    let (chan_rounds, chan_burst) = (2000u32, 20000u32);
+    // burst run, messages per large-payload burst run (see
+    // `bench::channels`). Payload bursts move real bytes per message, so
+    // they run fewer messages than the token burst.
+    let (chan_rounds, chan_burst, chan_payload_burst) = (2000u32, 20000u32, 5000u32);
     // Template-generated topologies (pring.scr / pmesh.scr), instantiated
     // once per sweep: the projection cost is setup, not measured time.
     let gen_ring = scaling::generated::GeneratedRing::new(ring_tasks);
@@ -215,6 +217,36 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
                 channels::spsc_burst(&rt, chan_burst);
             },
         );
+        // Large-payload streaming, alloc/move baseline vs the zero-copy
+        // data plane (pooled buffers + bounded ring + batch receive) at
+        // two payload sizes. The pooled row must beat its baseline by
+        // >= 25% at 1 KiB — that delta is what the pool and batch window
+        // exist to buy.
+        for payload in [1024usize, 16384] {
+            let suffix: &'static str = if payload == 1024 { "1k" } else { "16k" };
+            bench(
+                match suffix {
+                    "1k" => "channel_spsc_burst_1k",
+                    _ => "channel_spsc_burst_16k",
+                },
+                format!("\"messages\": {chan_payload_burst}, \"payload_bytes\": {payload}"),
+                u64::from(chan_payload_burst),
+                &mut || {
+                    channels::spsc_burst_payload(&rt, chan_payload_burst, payload);
+                },
+            );
+            bench(
+                match suffix {
+                    "1k" => "channel_spsc_burst_1k_pooled",
+                    _ => "channel_spsc_burst_16k_pooled",
+                },
+                format!("\"messages\": {chan_payload_burst}, \"payload_bytes\": {payload}"),
+                u64::from(chan_payload_burst),
+                &mut || {
+                    channels::spsc_burst_pooled(&rt, chan_payload_burst, payload);
+                },
+            );
+        }
         bench(
             "streaming",
             format!("\"n\": {stream_n}"),
@@ -258,6 +290,10 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
         "channel_spsc_pingpong",
         "channel_mpsc_pingpong",
         "channel_spsc_burst",
+        "channel_spsc_burst_1k",
+        "channel_spsc_burst_1k_pooled",
+        "channel_spsc_burst_16k",
+        "channel_spsc_burst_16k_pooled",
     ] {
         assert!(
             results
@@ -378,18 +414,63 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             link.high_watermark,
             link.kmc_bound.unwrap_or(0),
         );
-        let bound = match link.kmc_bound {
-            Some(k) => k.to_string(),
+        // A batch window wider than the verified bound would drain past
+        // what the k-MC check covers — hard-fail, same as a watermark
+        // violation.
+        assert!(
+            !link.violates_batch_window(),
+            "channel {} -> {} runs a batch window past its k-MC bound: \
+             window {:?} > k = {:?}",
+            link.from,
+            link.to,
+            link.batch_window,
+            link.kmc_bound,
+        );
+        let json_u64 = |value: Option<u64>| match value {
+            Some(v) => v.to_string(),
             None => "null".to_owned(),
         };
+        let bound = json_u64(link.kmc_bound);
+        let batch_window = json_u64(link.batch_window);
         let _ = write!(
             out,
             "      {{\"from\": \"{}\", \"to\": \"{}\", \"high_watermark\": {}, \
-             \"kmc_bound\": {bound}, \"grows\": {}, \"waker_retries\": {}, \
-             \"instances\": {}}}",
-            link.from, link.to, link.high_watermark, link.grows, link.waker_retries, link.instances
+             \"kmc_bound\": {bound}, \"batch_window\": {batch_window}, \
+             \"grows\": {}, \"shrinks\": {}, \"waker_retries\": {}, \
+             \"sends\": {}, \"wakes\": {}, \"batches\": {}, \
+             \"batched_messages\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"backpressure_parks\": {}, \"instances\": {}}}",
+            link.from,
+            link.to,
+            link.high_watermark,
+            link.grows,
+            link.shrinks,
+            link.waker_retries,
+            link.sends,
+            link.wakes,
+            link.batches,
+            link.batched_messages,
+            link.pool_hits,
+            link.pool_misses,
+            link.backpressure_parks,
+            link.instances
         );
         out.push_str(if index + 1 < links.len() { ",\n" } else { "\n" });
+    }
+    // The pooled streaming pair ran under telemetry: check its batch
+    // economics end to end — whole windows of messages per waker
+    // round-trip, not one wake per message.
+    if let Some(link) = links
+        .iter()
+        .find(|l| l.from == channels::POOLED_BURST_FROM && l.to == channels::POOLED_BURST_TO)
+    {
+        assert!(
+            link.wakes < link.sends,
+            "pooled burst link delivered {} wakes for {} sends — the batch \
+             window saved no waker round-trips",
+            link.wakes,
+            link.sends,
+        );
     }
     out.push_str("    ]\n  }\n");
     out

@@ -11,31 +11,65 @@
 //! send is a slot write plus a release store, a receive never takes a
 //! lock, and the waker handoff feeds straight into the scheduler's
 //! LIFO-slot direct-handoff path.
+//!
+//! A link built from a [`LinkConfig`] additionally cashes in the
+//! protocol's statically verified k-MC bounds as performance parameters:
+//! each direction's bound becomes the endpoint's **batch-receive
+//! window** (the receiver drains up to k queued messages per waker
+//! round-trip into a local stash — k is precisely the number of
+//! in-flight messages the verification proves safe), sizes the
+//! endpoint's **payload-buffer pool** ([`Bidirectional::payload_pool`]),
+//! and — in bounded mode — caps the ring so an unverified producer
+//! parks instead of growing the queue past the verified depth.
 
-use super::spsc::{spsc, spsc_labelled, SpscReceiver, SpscSender};
-use super::SendError;
+use std::collections::VecDeque;
+use std::task::{Context, Poll};
+
+use dep_telemetry as telemetry;
+
+use super::pool::BufferPool;
+use super::spsc::{spsc_with, SpscConfig, SpscReceiver, SpscSender};
+use super::{SendError, TrySendError};
+
+/// Construction parameters for one role-to-role link, from the
+/// perspective of endpoint `a` in `pair_configured(a, b, config)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkConfig {
+    /// Statically verified k-MC bound for the `a → b` direction.
+    pub bound_ab: Option<usize>,
+    /// Statically verified k-MC bound for the `b → a` direction.
+    pub bound_ba: Option<usize>,
+    /// Cap each direction's ring at its bound (back-pressure) instead of
+    /// letting it grow. Directions without a bound stay growable.
+    pub bounded: bool,
+}
 
 /// One endpoint of a bidirectional link between two fixed peers.
 pub struct Bidirectional<T> {
     tx: SpscSender<T>,
     rx: SpscReceiver<T>,
+    /// Messages drained by a batch receive but not yet handed to the
+    /// session; served before the ring is touched again.
+    stash: VecDeque<T>,
+    /// Batch-receive window for the incoming direction (1 = unbatched),
+    /// from the verified k-MC bound of that direction.
+    window: usize,
+    /// k-MC bound of the outgoing direction; sizes the payload pool.
+    send_bound: usize,
+    /// Telemetry label of the outgoing direction.
+    label: Option<(&'static str, &'static str)>,
+    /// Lazily created payload-buffer arena for outgoing messages.
+    pool: Option<BufferPool>,
 }
+
+/// Default byte capacity for payload-pool buffers when the caller does
+/// not specify one.
+const DEFAULT_PAYLOAD_CAPACITY: usize = 4096;
 
 impl<T> Bidirectional<T> {
     /// Creates both endpoints of a fresh link.
     pub fn pair() -> (Self, Self) {
-        let (a_to_b_tx, a_to_b_rx) = spsc();
-        let (b_to_a_tx, b_to_a_rx) = spsc();
-        (
-            Self {
-                tx: a_to_b_tx,
-                rx: b_to_a_rx,
-            },
-            Self {
-                tx: b_to_a_tx,
-                rx: a_to_b_rx,
-            },
-        )
+        Self::build(None, LinkConfig::default())
     }
 
     /// Creates both endpoints of a link between the named roles `a` and
@@ -44,43 +78,181 @@ impl<T> Bidirectional<T> {
     /// statically verified k-MC bound). Identical to [`Self::pair`] when
     /// telemetry is disabled.
     pub fn pair_labelled(a: &'static str, b: &'static str) -> (Self, Self) {
-        let (a_to_b_tx, a_to_b_rx) = spsc_labelled(a, b);
-        let (b_to_a_tx, b_to_a_rx) = spsc_labelled(b, a);
+        Self::build(Some((a, b)), LinkConfig::default())
+    }
+
+    /// Creates both endpoints of a link between the named roles `a` and
+    /// `b`, shaped by the directions' verified k-MC bounds (see the
+    /// module docs): bounds become batch-receive windows and payload-pool
+    /// sizes, and `config.bounded` additionally caps each bounded
+    /// direction's ring for back-pressure.
+    pub fn pair_configured(a: &'static str, b: &'static str, config: LinkConfig) -> (Self, Self) {
+        Self::build(Some((a, b)), config)
+    }
+
+    fn build(label: Option<(&'static str, &'static str)>, config: LinkConfig) -> (Self, Self) {
+        let direction = |bound: Option<usize>, from_to| SpscConfig {
+            label: from_to,
+            capacity: if config.bounded { bound } else { None },
+            bound_hint: bound,
+        };
+        let label_ab = label;
+        let label_ba = label.map(|(a, b)| (b, a));
+        let (ab_tx, ab_rx) = spsc_with(direction(config.bound_ab, label_ab));
+        let (ba_tx, ba_rx) = spsc_with(direction(config.bound_ba, label_ba));
+        let window = |bound: Option<usize>| bound.unwrap_or(1).max(1);
+        if telemetry::ENABLED {
+            // Record each direction's batch window next to its k-MC
+            // bound, so tooling can assert `batch_window <= kmc_bound`.
+            if let Some((a, b)) = label {
+                telemetry::channel::set_batch_window(a, b, window(config.bound_ab) as u64);
+                telemetry::channel::set_batch_window(b, a, window(config.bound_ba) as u64);
+            }
+        }
         (
             Self {
-                tx: a_to_b_tx,
-                rx: b_to_a_rx,
+                tx: ab_tx,
+                rx: ba_rx,
+                stash: VecDeque::new(),
+                window: window(config.bound_ba),
+                send_bound: window(config.bound_ab),
+                label: label_ab,
+                pool: None,
             },
             Self {
-                tx: b_to_a_tx,
-                rx: a_to_b_rx,
+                tx: ba_tx,
+                rx: ab_rx,
+                stash: VecDeque::new(),
+                window: window(config.bound_ab),
+                send_bound: window(config.bound_ba),
+                label: label_ba,
+                pool: None,
             },
         )
     }
 
-    /// Enqueues a message for the peer. Non-blocking and lock-free.
+    /// Enqueues a message for the peer. Non-blocking and lock-free. On a
+    /// back-pressured (bounded) link a full ring is reported as an error
+    /// like a closed one; use [`try_send`](Self::try_send) to tell the
+    /// cases apart or [`poll_send`](Self::poll_send) to park instead.
     pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
         self.tx.send(value)
     }
 
+    /// Non-blocking send distinguishing a full bounded ring
+    /// ([`TrySendError::Full`], recoverable) from a dropped peer.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        self.tx.try_send(value)
+    }
+
+    /// Constructs a message directly in the ring slot it will occupy
+    /// (see [`SpscSender::send_with`]).
+    pub fn send_with<F>(&mut self, make: F) -> Result<(), TrySendError<()>>
+    where
+        F: FnOnce() -> T,
+    {
+        self.tx.send_with(make)
+    }
+
+    /// Poll-based send: reserves a slot (parking on a full bounded ring)
+    /// and commits `*value` into it. `value` is left `None` on success
+    /// and on the terminal closed-channel error, untouched while pending.
+    ///
+    /// # Panics
+    /// Panics if called with `value` already taken (`None`).
+    pub fn poll_send(
+        &mut self,
+        cx: &mut Context<'_>,
+        value: &mut Option<T>,
+    ) -> Poll<Result<(), SendError<T>>> {
+        match self.tx.poll_reserve(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(SendError(()))) => {
+                let value = value.take().expect("poll_send polled after completion");
+                Poll::Ready(Err(SendError(value)))
+            }
+            Poll::Ready(Ok(slot)) => {
+                slot.write(value.take().expect("poll_send polled after completion"));
+                Poll::Ready(Ok(()))
+            }
+        }
+    }
+
     /// Awaits the next message from the peer.
     pub async fn recv(&mut self) -> Option<T> {
-        self.rx.recv().await
+        std::future::poll_fn(|cx| self.poll_recv(cx)).await
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive. On a link with a batch window this drains
+    /// up to the window in one ring operation and serves the rest from
+    /// the stash.
     pub fn try_recv(&mut self) -> Option<T> {
-        self.rx.try_recv()
+        if let Some(value) = self.stash.pop_front() {
+            return Some(value);
+        }
+        if self.window > 1 {
+            if self.rx.try_recv_batch(self.window, &mut self.stash) > 0 {
+                return self.stash.pop_front();
+            }
+            None
+        } else {
+            self.rx.try_recv()
+        }
     }
 
-    /// Poll-based receive for hand-written futures.
-    pub fn poll_recv(&mut self, cx: &mut std::task::Context<'_>) -> std::task::Poll<Option<T>> {
-        self.rx.poll_recv(cx)
+    /// Poll-based receive for hand-written futures. Batch-windowed links
+    /// pay one waker round-trip and one index publication per window of
+    /// messages, not per message.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        if let Some(value) = self.stash.pop_front() {
+            return Poll::Ready(Some(value));
+        }
+        if self.window > 1 {
+            match self.rx.poll_recv_batch(cx, self.window, &mut self.stash) {
+                Poll::Ready(n) if n > 0 => Poll::Ready(self.stash.pop_front()),
+                Poll::Ready(_) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            }
+        } else {
+            self.rx.poll_recv(cx)
+        }
     }
 
-    /// Number of pending inbound messages.
+    /// Number of pending inbound messages (stashed plus queued).
     pub fn pending(&self) -> usize {
-        self.rx.len()
+        self.stash.len() + self.rx.len()
+    }
+
+    /// The batch-receive window of the incoming direction (1 when
+    /// unbatched).
+    pub fn batch_window(&self) -> usize {
+        self.window
+    }
+
+    /// The payload-buffer arena for messages sent over this endpoint,
+    /// created on first use with O(k) slots (k = the outgoing
+    /// direction's verified bound) and recording its hit/miss counters
+    /// onto this link's telemetry cell. Clones share the arena: hand one
+    /// clone to the peer so consumed payloads recycle back.
+    pub fn payload_pool(&mut self) -> BufferPool {
+        self.payload_pool_with_capacity(DEFAULT_PAYLOAD_CAPACITY)
+    }
+
+    /// Like [`payload_pool`](Self::payload_pool) with an explicit byte
+    /// capacity for freshly allocated buffers. The capacity only applies
+    /// when the pool is first created.
+    pub fn payload_pool_with_capacity(&mut self, default_capacity: usize) -> BufferPool {
+        if let Some(pool) = &self.pool {
+            return pool.clone();
+        }
+        let stats = match self.label {
+            Some((from, to)) => telemetry::channel::attach(from, to),
+            None => telemetry::channel::LinkStats::default(),
+        };
+        // k in flight plus one in the producer's hand.
+        let pool = BufferPool::with_stats(self.send_bound + 1, default_capacity, stats);
+        self.pool = Some(pool.clone());
+        pool
     }
 }
 
@@ -120,5 +292,78 @@ mod tests {
         drop(b);
         assert!(a.send(1u8).is_err());
         assert_eq!(crate::block_on(a.recv()), None);
+    }
+
+    #[test]
+    fn configured_link_batches_receives() {
+        let (mut a, mut b) = Bidirectional::pair_configured(
+            "BidiBatchA",
+            "BidiBatchB",
+            LinkConfig {
+                bound_ab: Some(8),
+                bound_ba: Some(2),
+                bounded: false,
+            },
+        );
+        assert_eq!(b.batch_window(), 8);
+        assert_eq!(a.batch_window(), 2);
+        for i in 0..20u32 {
+            a.send(i).unwrap();
+        }
+        // The first receive drains a window into the stash; the ring is
+        // only touched again once the stash runs dry.
+        assert_eq!(b.try_recv(), Some(0));
+        assert_eq!(b.stash.len(), 7);
+        for i in 1..20 {
+            assert_eq!(b.try_recv(), Some(i));
+        }
+        assert_eq!(b.try_recv(), None);
+    }
+
+    #[test]
+    fn bounded_link_exerts_backpressure() {
+        let (mut a, mut b) = Bidirectional::pair_configured(
+            "BidiBoundA",
+            "BidiBoundB",
+            LinkConfig {
+                bound_ab: Some(2),
+                bound_ba: Some(1),
+                bounded: true,
+            },
+        );
+        a.try_send(1u32).unwrap();
+        a.try_send(2).unwrap();
+        assert!(matches!(a.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(b.try_recv(), Some(1));
+        a.try_send(3).unwrap();
+        crate::block_on(async {
+            assert_eq!(b.recv().await, Some(2));
+            assert_eq!(b.recv().await, Some(3));
+        });
+    }
+
+    #[test]
+    fn poll_send_commits_and_takes_value() {
+        let (mut a, mut b) = Bidirectional::pair();
+        crate::block_on(async {
+            let mut value = Some(9u32);
+            std::future::poll_fn(|cx| a.poll_send(cx, &mut value))
+                .await
+                .unwrap();
+            assert!(value.is_none());
+            assert_eq!(b.recv().await, Some(9));
+        });
+    }
+
+    #[test]
+    fn payload_pool_is_shared_per_endpoint() {
+        let (mut a, _b) = Bidirectional::<u8>::pair();
+        let pool = a.payload_pool();
+        let again = a.payload_pool();
+        let mut buf = pool.take();
+        buf.push(1);
+        drop(buf);
+        // Same arena: the recycled buffer is visible through both handles.
+        assert_eq!(again.idle(), 1);
     }
 }

@@ -14,33 +14,60 @@
 //!   counters only to publish their own side (one release store each) and
 //!   re-read the opposite counter only when the cached copy says
 //!   full/empty (the classic cached-index SPSC optimisation).
-//! * **Epoch-free growth.** When the ring fills, the producer allocates a
-//!   doubled buffer, copies the live range (logical indices keep their
-//!   values, only the mask changes), publishes it with a release store and
-//!   *retires* the old buffer onto an intrusive chain instead of freeing
-//!   it. A consumer that raced the growth keeps reading the old buffer —
-//!   frozen by the producer from that point on — and picks up the new one
-//!   the next time it refreshes its cached `tail`. Retired buffers are
-//!   freed when the channel drops; the waste is a geometric series below
-//!   one live buffer's size.
+//! * **Reserve/commit sends.** [`SpscSender::try_reserve`] hands out a
+//!   [`SendSlot`] naming the ring slot the next message will occupy;
+//!   [`SendSlot::write`] moves the value straight into that slot and
+//!   publishes it. `send` and [`SpscSender::send_with`] are thin wrappers,
+//!   so a producer constructs each message once, at its final address,
+//!   instead of building it on the stack and moving it into the queue.
+//! * **Epoch-free growth, bounded shrink.** When an *unbounded* ring
+//!   fills, the producer allocates a doubled buffer, copies the live range
+//!   (logical indices keep their values, only the mask changes), publishes
+//!   it with a release store and *retires* the old buffer onto an
+//!   intrusive chain instead of freeing it. A consumer that raced the
+//!   growth keeps reading the old buffer — frozen by the producer from
+//!   that point on — and picks up the new one the next time it refreshes
+//!   its cached `tail`. Conversely, a ring that grew during a burst does
+//!   not hold the peak-size buffer forever: the producer periodically
+//!   probes for a quiescent point (`head == tail`, i.e. the queue is
+//!   empty, so no slot is live and the consumer provably re-reads the
+//!   buffer pointer before its next access) and swaps back to the
+//!   configured shrink target, freeing the oversized buffer *and* its
+//!   whole retired chain immediately.
+//! * **Bounded mode (verified back-pressure).** A ring created with a
+//!   capacity never grows: once `tail - head` reaches the capacity,
+//!   `try_reserve`/`try_send` report [`TrySendError::Full`] and
+//!   [`SpscSender::poll_reserve`] *parks* the producer task until the
+//!   consumer frees a slot. Sized from a protocol's statically verified
+//!   k-MC bound, the capacity is one a verified execution can never
+//!   exceed — the park path is back-pressure insurance for unverified
+//!   callers, and telemetry counts every park so a verified protocol can
+//!   prove it paid nothing.
+//! * **Batched receive.** [`SpscReceiver::try_recv_batch`] pops up to a
+//!   window of messages while publishing the consumer index *once*, so a
+//!   streaming consumer pays one release store (one cache-line handoff to
+//!   the producer) per window instead of per message; sized from the k-MC
+//!   bound the window is exactly the verified number of messages that can
+//!   be in flight.
 //! * **Atomic waker handoff.** Blocking `recv` coordinates through a
 //!   four-state machine (`EMPTY` / `LOCKED` / `WAITING` / `WAKING`) plus
-//!   a waker cell. The waker is *persistent*: the producer wakes it by
+//!   a waker cell. The waker is *persistent*: the waking side wakes it by
 //!   reference under the `WAKING` state rather than taking it, and the
-//!   consumer keeps a private mirror so that on the next empty poll a
+//!   parked side keeps a private mirror so that on the next empty poll a
 //!   `will_wake` hit re-arms with a single CAS (`EMPTY` → `WAITING`) —
 //!   no waker clone, no cell write. Only a genuinely different waker
-//!   (task migration) pays for the `LOCKED` cell replacement. The
-//!   producer, after publishing a value, executes a `SeqCst` fence and
+//!   (task migration) pays for the `LOCKED` cell replacement. The waking
+//!   side, after publishing its index, executes a `SeqCst` fence and
 //!   peeks at the state with a relaxed load — only when it observes a
-//!   (possible) waiter does it pay for the CAS that claims the cell for
-//!   waking. The consumer mirrors the fence between publishing `WAITING`
-//!   and re-checking the queue, the same Dekker-style store/load
-//!   handshake as the scheduler's sleep protocol, so a wake can never be
-//!   lost. An uncontended send is therefore one slot write, one release
-//!   store and one fence; `recv` never takes a lock in any state.
+//!   (possible) waiter does it pay for the CAS that claims the cell. The
+//!   parked side mirrors the fence between publishing `WAITING` and
+//!   re-checking the queue, the same Dekker-style store/load handshake as
+//!   the scheduler's sleep protocol, so a wake can never be lost. Bounded
+//!   rings run a second, symmetric cell in the other direction for the
+//!   parked producer; unbounded rings never touch it.
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::future::Future;
 use std::mem::MaybeUninit;
 use std::pin::Pin;
@@ -52,22 +79,163 @@ use std::task::{Context, Poll, Waker};
 
 use dep_telemetry as telemetry;
 
-use super::SendError;
+use super::{SendError, TrySendError};
 
 /// Initial ring capacity (power of two). Small on purpose: session links
 /// are created per role pair, and most carry only a few in-flight labels.
 const MIN_CAP: usize = 16;
 
+/// How often (in sends) an oversized unbounded ring probes for the
+/// quiescent point that lets it shrink back to its target capacity. The
+/// probe costs one acquire load of `head`, so it is rationed rather than
+/// paid on every send.
+const SHRINK_PROBE: usize = 64;
+
 /// Not armed. The cell may still hold a disarmed waker from an earlier
-/// round, which the consumer re-arms cheaply when `will_wake` matches.
+/// round, which the parked side re-arms cheaply when `will_wake` matches.
 const WAKER_EMPTY: u8 = 0;
-/// The consumer is replacing the cell's waker; the producer keeps out.
+/// The parked side is replacing the cell's waker; the waking side keeps out.
 const WAKER_LOCKED: u8 = 1;
-/// Armed: the cell holds a live waker the producer may claim for waking.
+/// Armed: the cell holds a live waker the waking side may claim.
 const WAKER_WAITING: u8 = 2;
-/// The producer is waking the cell's waker *by reference*; the consumer
-/// must not mutate the cell until the producer stores `EMPTY`.
+/// The waking side is waking the cell's waker *by reference*; the parked
+/// side must not mutate the cell until the waking side stores `EMPTY`.
 const WAKER_WAKING: u8 = 3;
+
+/// One direction of the Dekker-style waker handoff: the four-state
+/// machine plus the waker cell it guards. The receiver parks on the
+/// `rx_waiter` cell (empty queue); a bounded ring's producer parks on the
+/// symmetric `tx_waiter` cell (full queue).
+struct WakerCell {
+    state: AtomicU8,
+    /// Guarded by `state`: mutated by the parked side under `LOCKED`,
+    /// read (and woken by reference, never taken) by the waking side
+    /// under `WAKING`. Persists across rounds so re-arming is cell-free.
+    cell: UnsafeCell<Option<Waker>>,
+}
+
+impl WakerCell {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(WAKER_EMPTY),
+            cell: UnsafeCell::new(None),
+        }
+    }
+
+    /// True when a waiter may be armed; pair with a preceding `SeqCst`
+    /// fence so the check cannot be reordered before the index
+    /// publication it guards.
+    #[inline]
+    fn is_armed(&self) -> bool {
+        self.state.load(Relaxed) != WAKER_EMPTY
+    }
+
+    /// Wakes the armed waker (if any) by reference; returns whether a
+    /// waiter was actually woken.
+    #[cold]
+    fn wake(&self) -> bool {
+        // WAITING -> WAKING claims read access to the cell; a failure
+        // means either no armed waiter (EMPTY) or the parked side is
+        // mid-registration (LOCKED) — and a registering waiter always
+        // re-checks the queue after publishing WAITING, so skipping the
+        // wake is safe.
+        if self
+            .state
+            .compare_exchange(WAKER_WAITING, WAKER_WAKING, SeqCst, SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        // Safety: WAKING keeps the parked side out of the cell; the
+        // waker stays in place so the next round can re-arm it without a
+        // clone.
+        if let Some(waker) = unsafe { (*self.cell.get()).as_ref() } {
+            // On a worker thread this lands the parked task in the waking
+            // worker's LIFO slot — the scheduler's direct-handoff path —
+            // rather than a shared queue.
+            waker.wake_by_ref();
+        }
+        self.state.store(WAKER_EMPTY, SeqCst);
+        true
+    }
+
+    /// Arms the handoff with `waker` and publishes `WAITING` followed by
+    /// a `SeqCst` fence. `mirror` is the parked side's private copy of
+    /// the cell's contents (the waking side never replaces them), letting
+    /// a `will_wake` hit re-arm with a single `EMPTY -> WAITING` CAS —
+    /// no clone, no cell access. Only a different waker (task migration)
+    /// pays for the `LOCKED` replacement.
+    fn register(
+        &self,
+        waker: &Waker,
+        mirror: &mut Option<Waker>,
+        stats: &telemetry::channel::LinkStats,
+    ) {
+        if mirror.as_ref().is_some_and(|armed| armed.will_wake(waker)) {
+            loop {
+                match self
+                    .state
+                    .compare_exchange(WAKER_EMPTY, WAKER_WAITING, SeqCst, SeqCst)
+                {
+                    Ok(_) => break,
+                    // Still armed from a previous Pending poll.
+                    Err(WAKER_WAITING) => break,
+                    // Waking side mid-wake (of this very waker): wait out
+                    // its short read-and-store section, then re-arm.
+                    Err(_) => {
+                        stats.record_waker_retry();
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            fence(SeqCst);
+            return;
+        }
+        loop {
+            match self
+                .state
+                .compare_exchange(WAKER_EMPTY, WAKER_LOCKED, SeqCst, SeqCst)
+            {
+                Ok(_) => break,
+                Err(WAKER_WAITING) => {
+                    // A stale waker is still armed; disarm it so the cell
+                    // can be replaced. A failure means the waking side
+                    // just entered WAKING; keep looping.
+                    if self
+                        .state
+                        .compare_exchange(WAKER_WAITING, WAKER_LOCKED, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    stats.record_waker_retry();
+                }
+                // Waking side mid-wake: its critical section is a read
+                // plus a store, so spin it out rather than losing this
+                // waker.
+                Err(_) => {
+                    stats.record_waker_retry();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // Safety: LOCKED grants cell ownership.
+        unsafe { *self.cell.get() = Some(waker.clone()) };
+        *mirror = Some(waker.clone());
+        self.state.store(WAKER_WAITING, SeqCst);
+        fence(SeqCst);
+    }
+
+    /// Best-effort disarm after the awaited condition resolved anyway;
+    /// the waker stays in the cell for cheap re-arming. Losing the race
+    /// is fine: the waking side then delivers one spurious (self-)wake,
+    /// which poll semantics permit.
+    fn unregister(&self) {
+        let _ = self
+            .state
+            .compare_exchange(WAKER_WAITING, WAKER_EMPTY, SeqCst, SeqCst);
+    }
+}
 
 /// A fixed-capacity circular buffer plus the chain of buffers it replaced.
 ///
@@ -78,7 +246,8 @@ struct Buffer<T> {
     /// Power-of-two capacity; `cap - 1` is the index mask.
     cap: usize,
     /// The buffer this one replaced, kept allocated (never read through)
-    /// until the channel drops so a consumer racing a growth still reads
+    /// until the channel drops — or until a quiescent-point shrink proves
+    /// no reader can exist — so a consumer racing a growth still reads
     /// valid memory.
     retired: *mut Buffer<T>,
 }
@@ -99,6 +268,16 @@ impl<T> Buffer<T> {
     fn slot(&self, index: usize) -> *mut MaybeUninit<T> {
         self.slots[index & (self.cap - 1)].get()
     }
+
+    /// Frees `buffer` and every older buffer on its retired chain.
+    ///
+    /// Safety: no other thread may dereference any buffer in the chain.
+    unsafe fn free_chain(mut buffer: *mut Buffer<T>) {
+        while !buffer.is_null() {
+            let boxed = unsafe { Box::from_raw(buffer) };
+            buffer = boxed.retired;
+        }
+    }
 }
 
 /// State shared by the two endpoints.
@@ -111,12 +290,11 @@ struct Inner<T> {
     tail: AtomicUsize,
     /// The live ring buffer; retired predecessors hang off its chain.
     buffer: AtomicPtr<Buffer<T>>,
-    /// Waker-handoff state machine (`WAKER_*`).
-    waker_state: AtomicU8,
-    /// Guarded by `waker_state`: mutated by the consumer under `LOCKED`,
-    /// read (and woken by reference, never taken) by the producer under
-    /// `WAKING`. Persists across rounds so re-arming is cell-free.
-    waker: UnsafeCell<Option<Waker>>,
+    /// Waker handoff for a consumer parked on an empty queue.
+    rx_waiter: WakerCell,
+    /// Waker handoff for a producer parked on a full bounded queue;
+    /// untouched on unbounded rings.
+    tx_waiter: WakerCell,
     /// Cleared by `Sender::drop`; pushes happen-before via release/acquire.
     tx_alive: AtomicBool,
     /// Cleared by `Receiver::drop`; later sends fail fast.
@@ -136,23 +314,37 @@ impl<T> Drop for Inner<T> {
         // forward; stale bit-copies in retired buffers are never dropped).
         let head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
-        let mut buffer = *self.buffer.get_mut();
+        let buffer = *self.buffer.get_mut();
         let current = unsafe { Box::from_raw(buffer) };
         for index in head..tail {
             unsafe { (*current.slot(index)).assume_init_drop() };
         }
-        buffer = current.retired;
-        while !buffer.is_null() {
-            let retired = unsafe { Box::from_raw(buffer) };
-            buffer = retired.retired;
-        }
+        unsafe { Buffer::free_chain(current.retired) };
     }
+}
+
+/// Construction parameters for an SPSC ring; the named constructors
+/// ([`spsc`], [`spsc_labelled`], [`spsc_bounded`]) cover the common
+/// shapes, [`spsc_with`] takes the full set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpscConfig {
+    /// Role names registering the link with the telemetry layer (ignored
+    /// in uninstrumented builds).
+    pub label: Option<(&'static str, &'static str)>,
+    /// `Some(k)`: a capacity-capped ring that never grows and exerts
+    /// back-pressure (park or [`TrySendError::Full`]) at `k` in-flight
+    /// messages. `None`: the classic growable unbounded ring.
+    pub capacity: Option<usize>,
+    /// For unbounded rings, the verified k-MC bound (messages in flight a
+    /// correct execution can reach): the quiescent-point shrink retires
+    /// oversized buffers back toward it. Ignored in bounded mode.
+    pub bound_hint: Option<usize>,
 }
 
 /// Creates a lock-free SPSC channel. Neither endpoint is cloneable; use
 /// [`unbounded`](super::unbounded) where multiple producers are needed.
 pub fn spsc<T>() -> (SpscSender<T>, SpscReceiver<T>) {
-    spsc_with_stats(telemetry::channel::LinkStats::default())
+    spsc_with(SpscConfig::default())
 }
 
 /// Creates an SPSC channel registered with the telemetry layer as the
@@ -161,32 +353,71 @@ pub fn spsc<T>() -> (SpscSender<T>, SpscReceiver<T>) {
 /// against the link's registered k-MC bound). Identical to [`spsc`] when
 /// telemetry is disabled.
 pub fn spsc_labelled<T>(from: &'static str, to: &'static str) -> (SpscSender<T>, SpscReceiver<T>) {
-    spsc_with_stats(telemetry::channel::register(from, to))
+    spsc_with(SpscConfig {
+        label: Some((from, to)),
+        ..SpscConfig::default()
+    })
 }
 
-fn spsc_with_stats<T>(stats: telemetry::channel::LinkStats) -> (SpscSender<T>, SpscReceiver<T>) {
-    let buffer = Box::into_raw(Buffer::alloc(MIN_CAP, ptr::null_mut()));
+/// Creates a capacity-capped SPSC channel: the ring never grows, and a
+/// full queue exerts back-pressure instead. Size it from the protocol's
+/// verified k-MC bound and a correct execution never parks.
+pub fn spsc_bounded<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    spsc_with(SpscConfig {
+        capacity: Some(capacity),
+        ..SpscConfig::default()
+    })
+}
+
+/// Creates an SPSC channel from the full [`SpscConfig`].
+pub fn spsc_with<T>(config: SpscConfig) -> (SpscSender<T>, SpscReceiver<T>) {
+    let stats = match config.label {
+        Some((from, to)) => telemetry::channel::register(from, to),
+        None => telemetry::channel::LinkStats::default(),
+    };
+    let capacity = config.capacity.map(|c| c.max(1));
+    let (cap, shrink_target) = match capacity {
+        // A bounded ring is allocated at its final size once and never
+        // grows or shrinks.
+        Some(limit) => {
+            let cap = limit.next_power_of_two();
+            (cap, cap)
+        }
+        None => {
+            let target = config
+                .bound_hint
+                .map_or(MIN_CAP, |k| k.next_power_of_two().max(MIN_CAP));
+            (target, target)
+        }
+    };
+    let buffer = Box::into_raw(Buffer::alloc(cap, ptr::null_mut()));
     let inner = Arc::new(Inner {
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
         buffer: AtomicPtr::new(buffer),
-        waker_state: AtomicU8::new(WAKER_EMPTY),
-        waker: UnsafeCell::new(None),
+        rx_waiter: WakerCell::new(),
+        tx_waiter: WakerCell::new(),
         tx_alive: AtomicBool::new(true),
         rx_alive: AtomicBool::new(true),
         stats,
     });
+    let limit = capacity.unwrap_or(cap);
     (
         SpscSender {
             inner: inner.clone(),
             buffer,
-            cap: MIN_CAP,
+            cap,
+            limit,
+            bounded: capacity.is_some(),
+            shrink_target,
             tail: 0,
             cached_head: 0,
+            armed_waker: None,
         },
         SpscReceiver {
             inner,
             buffer,
+            bounded: capacity.is_some(),
             head: 0,
             cached_tail: 0,
             armed_waker: None,
@@ -200,33 +431,153 @@ pub struct SpscSender<T> {
     /// Producer's view of the live buffer; only the producer replaces it.
     buffer: *mut Buffer<T>,
     cap: usize,
+    /// Maximum in-flight messages before the ring is considered full: the
+    /// configured capacity in bounded mode, the current `cap` (grow on
+    /// full) otherwise.
+    limit: usize,
+    /// Bounded mode: full means back-pressure, never growth.
+    bounded: bool,
+    /// Capacity the quiescent-point shrink retires oversized buffers
+    /// back to; equals `cap` in bounded mode (shrink disabled).
+    shrink_target: usize,
     /// Mirror of `inner.tail` (only the producer advances it).
     tail: usize,
     /// Last observed `inner.head`; always <= the true head, so staleness
     /// only ever makes the full check conservative.
     cached_head: usize,
+    /// Private mirror of `tx_waiter`'s cell (see [`WakerCell::register`]).
+    armed_waker: Option<Waker>,
 }
 
 unsafe impl<T: Send> Send for SpscSender<T> {}
 
 impl<T> SpscSender<T> {
     /// Publishes a message and hands the peer's waker to the scheduler if
-    /// the peer is waiting. Never blocks; fails only when the receiver is
-    /// gone.
+    /// the peer is waiting. Never blocks. Fails when the receiver is
+    /// gone — and, on a capacity-bounded ring, when the queue is full
+    /// (use [`try_send`](Self::try_send) to tell the two apart, or
+    /// [`poll_reserve`](Self::poll_reserve) to park until space frees).
     pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
-        if !self.inner.rx_alive.load(Acquire) {
-            return Err(SendError(value));
+        self.try_send(value).map_err(|error| match error {
+            TrySendError::Full(value) | TrySendError::Closed(value) => SendError(value),
+        })
+    }
+
+    /// Like [`send`](Self::send), but a full bounded ring is reported as
+    /// the recoverable [`TrySendError::Full`] instead of being folded
+    /// into the closed case.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        match self.try_reserve() {
+            Ok(slot) => {
+                slot.write(value);
+                Ok(())
+            }
+            Err(TrySendError::Full(())) => Err(TrySendError::Full(value)),
+            Err(TrySendError::Closed(())) => Err(TrySendError::Closed(value)),
         }
-        if self.tail - self.cached_head == self.cap {
+    }
+
+    /// Constructs a message directly in the ring slot it will occupy: the
+    /// closure runs after the slot is reserved, and its return value is
+    /// written straight to the slot address (a single move the optimiser
+    /// routinely elides into in-place construction), never to an
+    /// intermediate queue-transfer copy.
+    pub fn send_with<F>(&mut self, make: F) -> Result<(), TrySendError<()>>
+    where
+        F: FnOnce() -> T,
+    {
+        let slot = self.try_reserve()?;
+        slot.write(make());
+        Ok(())
+    }
+
+    /// Reserves the next ring slot without blocking. The returned
+    /// [`SendSlot`] publishes the message on [`write`](SendSlot::write);
+    /// dropping it instead abandons the reservation (nothing is
+    /// published). Fails with [`TrySendError::Full`] only on a
+    /// capacity-bounded ring.
+    pub fn try_reserve(&mut self) -> Result<SendSlot<'_, T>, TrySendError<()>> {
+        if !self.inner.rx_alive.load(Acquire) {
+            return Err(TrySendError::Closed(()));
+        }
+        self.maybe_shrink();
+        if self.tail - self.cached_head >= self.limit {
             self.cached_head = self.inner.head.load(Acquire);
-            if self.tail - self.cached_head == self.cap {
+            if self.tail - self.cached_head >= self.limit {
+                if self.bounded {
+                    return Err(TrySendError::Full(()));
+                }
                 self.grow();
             }
         }
-        // Safety: slot `tail` is outside the live range `[head, tail)`,
-        // so the consumer is not reading it; the release store below
-        // publishes the write.
-        unsafe { ptr::write((*self.buffer).slot(self.tail), MaybeUninit::new(value)) };
+        Ok(SendSlot { sender: self })
+    }
+
+    /// Reserves the next ring slot, parking the task while a bounded ring
+    /// is full; the consumer's next pop wakes it. On unbounded rings this
+    /// never returns `Pending`. Fails only when the receiver is gone.
+    pub fn poll_reserve(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<SendSlot<'_, T>, SendError<()>>> {
+        if !self.inner.rx_alive.load(Acquire) {
+            return Poll::Ready(Err(SendError(())));
+        }
+        self.maybe_shrink();
+        if self.tail - self.cached_head >= self.limit {
+            self.cached_head = self.inner.head.load(Acquire);
+            if self.tail - self.cached_head >= self.limit {
+                if !self.bounded {
+                    self.grow();
+                } else {
+                    // Same Dekker handshake as the receive side, in the
+                    // other direction: publish WAITING, fence (inside
+                    // `register`), then re-check `head` so a pop cannot
+                    // slip between the full check and the registration.
+                    let inner = &*self.inner;
+                    inner
+                        .tx_waiter
+                        .register(cx.waker(), &mut self.armed_waker, &inner.stats);
+                    self.cached_head = inner.head.load(Acquire);
+                    if self.tail - self.cached_head >= self.limit {
+                        if !inner.rx_alive.load(Acquire) {
+                            inner.tx_waiter.unregister();
+                            return Poll::Ready(Err(SendError(())));
+                        }
+                        inner.stats.record_backpressure_park();
+                        return Poll::Pending;
+                    }
+                    inner.tx_waiter.unregister();
+                }
+            }
+        }
+        Poll::Ready(Ok(SendSlot { sender: self }))
+    }
+
+    /// Sends `value`, awaiting queue space on a full bounded ring (the
+    /// back-pressure counterpart of the non-blocking [`send`](Self::send)).
+    pub fn send_wait(&mut self, value: T) -> SpscSendWait<'_, T> {
+        SpscSendWait {
+            sender: self,
+            value: Some(value),
+        }
+    }
+
+    /// True if the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.inner.rx_alive.load(Acquire)
+    }
+
+    /// The back-pressure capacity, if this ring was created bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.bounded.then_some(self.limit)
+    }
+
+    /// Publishes the value just written to slot `tail` (the commit half
+    /// of reserve/commit): advances the producer index, records
+    /// telemetry, and runs the Dekker handshake that wakes a parked
+    /// consumer.
+    fn commit(&mut self) {
         self.tail += 1;
         self.inner.tail.store(self.tail, Release);
 
@@ -239,26 +590,30 @@ impl<T> SpscSender<T> {
             // must still hold and the watermark has no false positives.
             let depth = self.tail - self.inner.head.load(Relaxed);
             self.inner.stats.record_depth(depth as u64);
+            self.inner.stats.record_send();
+        }
+        if self.bounded {
+            debug_assert!(
+                self.tail - self.cached_head <= self.limit,
+                "bounded SPSC ring exceeded its capacity: \
+                 {} in flight > limit {}",
+                self.tail - self.cached_head,
+                self.limit,
+            );
         }
 
-        // Dekker handshake with `SpscReceiver::register`: order the tail
+        // Dekker handshake with `WakerCell::register`: order the tail
         // publication before the waker-state read, so either we observe
         // the waiter or the waiter's queue re-check observes our value.
         fence(SeqCst);
-        if self.inner.waker_state.load(Relaxed) != WAKER_EMPTY {
-            self.inner.wake_receiver();
+        if self.inner.rx_waiter.is_armed() && self.inner.rx_waiter.wake() {
+            self.inner.stats.record_wake();
         }
-        Ok(())
-    }
-
-    /// True if the receiving half has been dropped.
-    pub fn is_closed(&self) -> bool {
-        !self.inner.rx_alive.load(Acquire)
     }
 
     /// Doubles the ring, copying the live range into the new buffer at
     /// unchanged logical indices, and retires the old buffer (the consumer
-    /// may still be reading it). Producer only.
+    /// may still be reading it). Producer only; unbounded rings only.
     #[cold]
     fn grow(&mut self) {
         self.inner.stats.record_grow();
@@ -275,46 +630,106 @@ impl<T> SpscSender<T> {
         self.inner.buffer.store(new, Release);
         self.buffer = new;
         self.cap *= 2;
+        self.limit = self.cap;
+    }
+
+    /// Rations the quiescent-point probe: every [`SHRINK_PROBE`] sends
+    /// while the ring is oversized, refresh `head` and shrink if the
+    /// queue turns out to be empty.
+    #[inline]
+    fn maybe_shrink(&mut self) {
+        if self.cap > self.shrink_target && self.tail.is_multiple_of(SHRINK_PROBE) {
+            self.cached_head = self.inner.head.load(Acquire);
+            if self.cached_head == self.tail {
+                self.shrink();
+            }
+        }
+    }
+
+    /// Swaps the oversized ring for a fresh target-capacity buffer and
+    /// frees the old one together with its whole retired chain. Producer
+    /// only, and only at a quiescent point.
+    #[cold]
+    fn shrink(&mut self) {
+        let old = self.buffer;
+        let new = Box::into_raw(Buffer::alloc(self.shrink_target, ptr::null_mut()));
+        self.inner.buffer.store(new, Release);
+        self.buffer = new;
+        self.cap = self.shrink_target;
+        self.limit = self.cap;
+        // Safety: `head == tail` (loaded acquire in `maybe_shrink`, so
+        // the consumer's last slot read happens-before this free), no
+        // logical index is live, and the consumer dereferences a buffer
+        // pointer only under `head < cached_tail` — which forces it to
+        // first observe a tail we publish *after* the new buffer, and
+        // therefore to reload the pointer. Nothing can read the old
+        // chain again.
+        unsafe { Buffer::free_chain(old) };
+        self.inner.stats.record_shrink();
     }
 }
 
 impl<T> Drop for SpscSender<T> {
     fn drop(&mut self) {
         self.inner.tx_alive.store(false, Release);
-        // Same handshake as `send`: the closure must not be missed by a
+        // Same handshake as `commit`: the closure must not be missed by a
         // receiver that just went to sleep.
         fence(SeqCst);
-        if self.inner.waker_state.load(Relaxed) != WAKER_EMPTY {
-            self.inner.wake_receiver();
+        if self.inner.rx_waiter.is_armed() {
+            self.inner.rx_waiter.wake();
         }
     }
 }
 
-impl<T> Inner<T> {
-    /// Wakes the armed waker (if any) by reference. Shared by `send` and
-    /// the sender's drop.
-    #[cold]
-    fn wake_receiver(&self) {
-        // WAITING -> WAKING claims read access to the cell; a failure
-        // means either no armed waiter (EMPTY) or the consumer is
-        // mid-registration (LOCKED) — and a registering consumer always
-        // re-checks the queue after publishing WAITING, so skipping the
-        // wake is safe.
-        if self
-            .waker_state
-            .compare_exchange(WAKER_WAITING, WAKER_WAKING, SeqCst, SeqCst)
-            .is_ok()
-        {
-            // Safety: WAKING keeps the consumer out of the cell; the
-            // waker stays in place so the next round can re-arm it
-            // without a clone.
-            if let Some(waker) = unsafe { (*self.waker.get()).as_ref() } {
-                // On a worker thread this lands the receiver task in the
-                // sender's LIFO slot — the scheduler's direct-handoff
-                // path — rather than a shared queue.
-                waker.wake_by_ref();
+/// A reserved ring slot: the reserve half of the producer's
+/// reserve/commit protocol (see [`SpscSender::try_reserve`]).
+///
+/// [`write`](Self::write) moves a value directly into the slot and
+/// publishes it; dropping the reservation without writing publishes
+/// nothing and leaves the channel untouched.
+#[must_use = "a reserved slot publishes nothing until written"]
+pub struct SendSlot<'a, T> {
+    sender: &'a mut SpscSender<T>,
+}
+
+impl<T> SendSlot<'_, T> {
+    /// Writes `value` into the reserved slot and publishes it (the commit
+    /// half of reserve/commit). The value is moved exactly once, to its
+    /// final address in the ring.
+    pub fn write(self, value: T) {
+        let sender = self.sender;
+        // Safety: slot `tail` is outside the live range `[head, tail)`,
+        // so the consumer is not reading it; the release store in
+        // `commit` publishes the write.
+        unsafe { ptr::write((*sender.buffer).slot(sender.tail), MaybeUninit::new(value)) };
+        sender.commit();
+    }
+}
+
+/// Future returned by [`SpscSender::send_wait`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct SpscSendWait<'a, T> {
+    sender: &'a mut SpscSender<T>,
+    value: Option<T>,
+}
+
+impl<T> Future for SpscSendWait<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // No structural pinning: all fields are Unpin.
+        let this = unsafe { self.get_unchecked_mut() };
+        match this.sender.poll_reserve(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(SendError(()))) => {
+                let value = this.value.take().expect("polled after completion");
+                Poll::Ready(Err(SendError(value)))
             }
-            self.waker_state.store(WAKER_EMPTY, SeqCst);
+            Poll::Ready(Ok(slot)) => {
+                let value = this.value.take().expect("polled after completion");
+                slot.write(value);
+                Poll::Ready(Ok(()))
+            }
         }
     }
 }
@@ -326,14 +741,14 @@ pub struct SpscReceiver<T> {
     /// (refreshed together with `cached_tail`, *after* it, so the buffer
     /// is at least as fresh as any growth covering those indices).
     buffer: *mut Buffer<T>,
+    /// Mirror of the ring's bounded-ness: only bounded rings ever have a
+    /// parked producer to wake, so unbounded pops skip the check.
+    bounded: bool,
     /// Mirror of `inner.head` (only the consumer advances it).
     head: usize,
     /// Last observed `inner.tail`.
     cached_tail: usize,
-    /// Private mirror of the waker stored in the shared cell. The
-    /// producer never replaces the cell's contents, so this is always
-    /// accurate and lets `register` decide via `will_wake` — without
-    /// touching the cell — whether a one-CAS re-arm suffices.
+    /// Private mirror of `rx_waiter`'s cell (see [`WakerCell::register`]).
     armed_waker: Option<Waker>,
 }
 
@@ -342,15 +757,8 @@ unsafe impl<T: Send> Send for SpscReceiver<T> {}
 impl<T> SpscReceiver<T> {
     /// Non-blocking receive: pops the next message if one is published.
     pub fn try_recv(&mut self) -> Option<T> {
-        if self.head == self.cached_tail {
-            self.cached_tail = self.inner.tail.load(Acquire);
-            if self.head == self.cached_tail {
-                return None;
-            }
-            // Reload *after* tail: seeing tail = t (acquire) makes every
-            // producer write before that store visible, including any
-            // buffer replacement covering indices < t.
-            self.buffer = self.inner.buffer.load(Acquire);
+        if self.head == self.cached_tail && !self.refresh() {
+            return None;
         }
         // Safety: `head < cached_tail`, so the slot holds a published
         // value the producer will not touch again, and `self.buffer` is
@@ -360,13 +768,59 @@ impl<T> SpscReceiver<T> {
         // Release: the slot read above must complete before the producer
         // can observe the new head and reuse the slot.
         self.inner.head.store(self.head, Release);
+        self.wake_producer();
         Some(value)
+    }
+
+    /// Pops up to `window` published messages into `out`, publishing the
+    /// consumer index — the cache-line handoff that lets the producer
+    /// reuse slots (and unparks it on a bounded ring) — exactly **once**
+    /// for the whole batch. Returns the number popped (0 when the queue
+    /// is empty). A `window` of 0 is treated as 1.
+    pub fn try_recv_batch(&mut self, window: usize, out: &mut VecDeque<T>) -> usize {
+        if self.head == self.cached_tail && !self.refresh() {
+            return 0;
+        }
+        let n = window.max(1).min(self.cached_tail - self.head);
+        // Grow `out` first: the pushes below must not allocate (the only
+        // way they could panic), or values already popped off the ring —
+        // but not yet re-owned by `out` — would leak or double-drop when
+        // the channel drops.
+        out.reserve(n);
+        for _ in 0..n {
+            // Safety: as in `try_recv`; every index below `cached_tail`
+            // is published and lives in `self.buffer`.
+            let value = unsafe { ptr::read((*self.buffer).slot(self.head)).assume_init() };
+            out.push_back(value);
+            self.head += 1;
+        }
+        // One release store for the whole window: all slot reads above
+        // complete before the producer can observe the new head.
+        self.inner.head.store(self.head, Release);
+        self.inner.stats.record_batch(n as u64);
+        self.wake_producer();
+        n
     }
 
     /// Awaits the next message; resolves to `None` once the sender is gone
     /// and the queue is drained.
     pub fn recv(&mut self) -> SpscRecv<'_, T> {
         SpscRecv { receiver: self }
+    }
+
+    /// Awaits at least one message, then drains up to `window` of them
+    /// into `out` with a single index publication; resolves to the number
+    /// drained (0 once the sender is gone and the queue is empty).
+    pub fn recv_batch<'a>(
+        &'a mut self,
+        window: usize,
+        out: &'a mut VecDeque<T>,
+    ) -> SpscRecvBatch<'a, T> {
+        SpscRecvBatch {
+            receiver: self,
+            window,
+            out,
+        }
     }
 
     /// Poll-based receive for hand-written futures: `Ready(None)` once the
@@ -376,10 +830,10 @@ impl<T> SpscReceiver<T> {
             return Poll::Ready(Some(value));
         }
         self.register(cx.waker());
-        // Dekker handshake with `SpscSender::send`/`drop` (see `register`):
-        // re-check both the queue and the closed flag now that WAITING is
-        // published, so a concurrent publication cannot slip between our
-        // first check and the registration.
+        // Dekker handshake with the producer's `commit`/`drop` (see
+        // `register`): re-check both the queue and the closed flag now
+        // that WAITING is published, so a concurrent publication cannot
+        // slip between our first check and the registration.
         if let Some(value) = self.try_recv() {
             self.unregister();
             return Poll::Ready(Some(value));
@@ -390,6 +844,33 @@ impl<T> SpscReceiver<T> {
             let value = self.try_recv();
             self.unregister();
             return Poll::Ready(value);
+        }
+        Poll::Pending
+    }
+
+    /// Poll-based batch receive: `Ready(n)` once `n >= 1` messages were
+    /// drained into `out`, `Ready(0)` once the sender is gone and the
+    /// queue is empty.
+    pub fn poll_recv_batch(
+        &mut self,
+        cx: &mut Context<'_>,
+        window: usize,
+        out: &mut VecDeque<T>,
+    ) -> Poll<usize> {
+        let n = self.try_recv_batch(window, out);
+        if n > 0 {
+            return Poll::Ready(n);
+        }
+        self.register(cx.waker());
+        let n = self.try_recv_batch(window, out);
+        if n > 0 {
+            self.unregister();
+            return Poll::Ready(n);
+        }
+        if !self.inner.tx_alive.load(Acquire) {
+            let n = self.try_recv_batch(window, out);
+            self.unregister();
+            return Poll::Ready(n);
         }
         Poll::Pending
     }
@@ -407,83 +888,46 @@ impl<T> SpscReceiver<T> {
         self.len() == 0
     }
 
-    /// Arms the handoff with `waker` and publishes `WAITING` followed by
-    /// a `SeqCst` fence.
-    ///
-    /// Fast path: the cell already holds an equivalent waker (the
-    /// producer wakes by reference and never clears the cell), so arming
-    /// is a single `EMPTY -> WAITING` CAS — no clone, no cell access.
-    /// Only a different waker (the receiver moved to another task) pays
-    /// for the `LOCKED` replacement.
-    fn register(&mut self, waker: &Waker) {
-        let inner = &*self.inner;
-        if self
-            .armed_waker
-            .as_ref()
-            .is_some_and(|armed| armed.will_wake(waker))
-        {
-            loop {
-                match inner
-                    .waker_state
-                    .compare_exchange(WAKER_EMPTY, WAKER_WAITING, SeqCst, SeqCst)
-                {
-                    Ok(_) => break,
-                    // Still armed from a previous Pending poll.
-                    Err(WAKER_WAITING) => break,
-                    // Producer mid-wake (of this very waker): wait out its
-                    // short read-and-store section, then re-arm.
-                    Err(_) => {
-                        inner.stats.record_waker_retry();
-                        std::hint::spin_loop();
-                    }
-                }
-            }
-            fence(SeqCst);
-            return;
+    /// Refreshes the cached tail (and, when it moved, the buffer
+    /// pointer); returns whether any message is now visible.
+    #[inline]
+    fn refresh(&mut self) -> bool {
+        self.cached_tail = self.inner.tail.load(Acquire);
+        if self.head == self.cached_tail {
+            return false;
         }
-        loop {
-            match inner
-                .waker_state
-                .compare_exchange(WAKER_EMPTY, WAKER_LOCKED, SeqCst, SeqCst)
-            {
-                Ok(_) => break,
-                Err(WAKER_WAITING) => {
-                    // A stale waker is still armed; disarm it so the cell
-                    // can be replaced. A failure means the producer just
-                    // entered WAKING; keep looping.
-                    if inner
-                        .waker_state
-                        .compare_exchange(WAKER_WAITING, WAKER_LOCKED, SeqCst, SeqCst)
-                        .is_ok()
-                    {
-                        break;
-                    }
-                    inner.stats.record_waker_retry();
-                }
-                // Producer mid-wake: its critical section is a read plus
-                // a store, so spin it out rather than losing this waker.
-                Err(_) => {
-                    inner.stats.record_waker_retry();
-                    std::hint::spin_loop();
-                }
-            }
-        }
-        // Safety: LOCKED grants cell ownership.
-        unsafe { *inner.waker.get() = Some(waker.clone()) };
-        self.armed_waker = Some(waker.clone());
-        inner.waker_state.store(WAKER_WAITING, SeqCst);
-        fence(SeqCst);
+        // Reload *after* tail: seeing tail = t (acquire) makes every
+        // producer write before that store visible, including any
+        // buffer replacement covering indices < t.
+        self.buffer = self.inner.buffer.load(Acquire);
+        true
     }
 
-    /// Best-effort disarm after a late value was found; the waker stays
-    /// in the cell for cheap re-arming. Losing the race is fine: the
-    /// producer then delivers one spurious (self-)wake, which poll
-    /// semantics permit.
+    /// The bounded-ring half of the Dekker handshake, run after every
+    /// head publication: wake a producer parked on the full queue.
+    /// Unbounded rings never park producers, so the fence is skipped.
+    #[inline]
+    fn wake_producer(&self) {
+        if self.bounded {
+            fence(SeqCst);
+            if self.inner.tx_waiter.is_armed() {
+                self.inner.tx_waiter.wake();
+            }
+        }
+    }
+
+    /// Arms the receive-side handoff with `waker` (see
+    /// [`WakerCell::register`]).
+    fn register(&mut self, waker: &Waker) {
+        let inner = &*self.inner;
+        inner
+            .rx_waiter
+            .register(waker, &mut self.armed_waker, &inner.stats);
+    }
+
+    /// Best-effort disarm after a late value was found.
     fn unregister(&mut self) {
-        let _ = self
-            .inner
-            .waker_state
-            .compare_exchange(WAKER_WAITING, WAKER_EMPTY, SeqCst, SeqCst);
+        self.inner.rx_waiter.unregister();
     }
 }
 
@@ -492,6 +936,12 @@ impl<T> Drop for SpscReceiver<T> {
         // Later sends fail fast; a send racing this store may still land
         // in the queue, where `Inner::drop` reclaims it.
         self.inner.rx_alive.store(false, Release);
+        // A producer parked on a full bounded ring must observe the
+        // closure: same handshake as the sender's drop, other direction.
+        fence(SeqCst);
+        if self.inner.tx_waiter.is_armed() {
+            self.inner.tx_waiter.wake();
+        }
     }
 }
 
@@ -506,6 +956,24 @@ impl<T> Future for SpscRecv<'_, T> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         self.get_mut().receiver.poll_recv(cx)
+    }
+}
+
+/// Future returned by [`SpscReceiver::recv_batch`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct SpscRecvBatch<'a, T> {
+    receiver: &'a mut SpscReceiver<T>,
+    window: usize,
+    out: &'a mut VecDeque<T>,
+}
+
+impl<T> Future for SpscRecvBatch<'_, T> {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // No structural pinning: all fields are Unpin.
+        let this = unsafe { self.get_unchecked_mut() };
+        this.receiver.poll_recv_batch(cx, this.window, this.out)
     }
 }
 
@@ -555,6 +1023,7 @@ mod tests {
         drop(rx);
         assert!(tx.send(1).is_err());
         assert!(tx.is_closed());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Closed(2))));
     }
 
     #[test]
@@ -613,6 +1082,7 @@ mod tests {
                 .expect("labelled link registered");
             assert_eq!(link.high_watermark, MIN_CAP as u64 * 2);
             assert!(link.grows >= 1);
+            assert_eq!(link.sends, MIN_CAP as u64 * 2);
         } else {
             assert!(links.is_empty());
         }
@@ -628,5 +1098,146 @@ mod tests {
         assert_eq!(rx.len(), 2);
         rx.try_recv();
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn reserve_commit_publishes_only_on_write() {
+        let (mut tx, mut rx) = spsc::<u32>();
+        // An abandoned reservation publishes nothing.
+        let slot = tx.try_reserve().unwrap();
+        drop(slot);
+        assert_eq!(rx.try_recv(), None);
+        tx.try_reserve().unwrap().write(7);
+        assert_eq!(rx.try_recv(), Some(7));
+    }
+
+    #[test]
+    fn send_with_constructs_in_slot() {
+        let (mut tx, mut rx) = spsc::<Vec<u8>>();
+        tx.send_with(|| vec![1, 2, 3]).unwrap();
+        assert_eq!(rx.try_recv(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn bounded_reports_full_and_recovers() {
+        let (mut tx, mut rx) = spsc_bounded::<u32>(2);
+        assert_eq!(tx.capacity(), Some(2));
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Full(4))));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn bounded_send_wait_parks_until_space() {
+        let rt = crate::Runtime::new(2);
+        let (mut tx, mut rx) = spsc_bounded::<u32>(1);
+        let producer = rt.spawn(async move {
+            for i in 0..100 {
+                tx.send_wait(i).await.unwrap();
+            }
+        });
+        let consumer = rt.spawn(async move {
+            let mut expected = 0;
+            while let Some(v) = rx.recv().await {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            expected
+        });
+        rt.block_on(producer).unwrap();
+        assert_eq!(rt.block_on(consumer).unwrap(), 100);
+    }
+
+    #[test]
+    fn send_wait_fails_when_receiver_dropped_mid_park() {
+        let rt = crate::Runtime::new(2);
+        let (mut tx, mut rx) = spsc_bounded::<u32>(1);
+        tx.try_send(0).unwrap();
+        let producer = rt.spawn(async move {
+            // The ring is full; this parks until the receiver disappears.
+            tx.send_wait(1).await
+        });
+        let dropper = rt.spawn(async move {
+            crate::yield_now().await;
+            assert_eq!(rx.try_recv(), Some(0));
+            drop(rx);
+        });
+        rt.block_on(dropper).unwrap();
+        // Either the pop freed space first (Ok) or the closure won (Err);
+        // both mean the producer did not deadlock.
+        let _ = rt.block_on(producer).unwrap();
+    }
+
+    #[test]
+    fn batch_recv_drains_in_order() {
+        let (mut tx, mut rx) = spsc::<u32>();
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        let mut out = VecDeque::new();
+        assert_eq!(rx.try_recv_batch(8, &mut out), 8);
+        assert_eq!(rx.try_recv_batch(64, &mut out), 42);
+        assert_eq!(rx.try_recv_batch(8, &mut out), 0);
+        assert_eq!(out.len(), 50);
+        for i in 0..50 {
+            assert_eq!(out.pop_front(), Some(i));
+        }
+    }
+
+    #[test]
+    fn batch_recv_future_resolves_zero_after_close() {
+        let (mut tx, mut rx) = spsc::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        crate::block_on(async {
+            let mut out = VecDeque::new();
+            assert_eq!(rx.recv_batch(16, &mut out).await, 2);
+            assert_eq!(rx.recv_batch(16, &mut out).await, 0);
+            assert_eq!(out, VecDeque::from([1, 2]));
+        });
+    }
+
+    #[test]
+    fn oversized_ring_shrinks_at_quiescent_point() {
+        let (mut tx, mut rx) = spsc::<usize>();
+        // Grow well past the shrink target…
+        for i in 0..(MIN_CAP * 16) {
+            tx.send(i).unwrap();
+        }
+        for i in 0..(MIN_CAP * 16) {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert!(tx.cap > MIN_CAP);
+        // …then keep sending and draining: once a probe lands on an empty
+        // queue the ring must retire the oversized buffer.
+        for i in 0..(SHRINK_PROBE * 2) {
+            tx.send(i).unwrap();
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(tx.cap, MIN_CAP);
+        // The shrunk ring still works, including re-growth.
+        for i in 0..(MIN_CAP * 4) {
+            tx.send(i).unwrap();
+        }
+        for i in 0..(MIN_CAP * 4) {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn bound_hint_sizes_the_initial_ring() {
+        let (tx, _rx) = spsc_with::<u32>(SpscConfig {
+            bound_hint: Some(100),
+            ..SpscConfig::default()
+        });
+        assert_eq!(tx.cap, 128);
+        assert_eq!(tx.shrink_target, 128);
     }
 }

@@ -6,9 +6,10 @@
 //! the iteration counts scale down in debug builds so plain `cargo test`
 //! stays fast.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use executor::channel::{spsc, Bidirectional};
+use executor::channel::{spsc, spsc_bounded, Bidirectional, TrySendError};
 use executor::Runtime;
 
 #[cfg(debug_assertions)]
@@ -244,6 +245,224 @@ fn waker_handoff_interleavings() {
             }
         }
     }
+}
+
+/// Two-thread in-place sends: the producer thread commits every message
+/// through the reserve/commit path (`try_reserve().write()` and
+/// `send_with`), racing a consumer thread across many growths and
+/// wraparounds. Exactly-once, in-order delivery must be identical to the
+/// plain `send` path.
+#[test]
+fn two_thread_in_place_send_exactly_once_in_order() {
+    let (mut tx, mut rx) = spsc::<u64>();
+    let producer = std::thread::spawn(move || {
+        for i in 0..MESSAGES {
+            // Alternate the two commit flavours so both race the
+            // consumer; an abandoned reservation in between must be
+            // invisible.
+            if i % 2 == 0 {
+                tx.try_reserve().unwrap().write(i);
+            } else {
+                tx.send_with(|| i).unwrap();
+            }
+            if i % 1024 == 0 {
+                drop(tx.try_reserve().unwrap());
+                std::thread::yield_now();
+            }
+        }
+    });
+    executor::block_on(async {
+        for expected in 0..MESSAGES {
+            assert_eq!(rx.recv().await, Some(expected));
+        }
+        assert_eq!(rx.recv().await, None);
+    });
+    producer.join().unwrap();
+}
+
+/// Batch receives interleaved with the waker handoff at 1, 2 and 8
+/// workers: a producer task streams messages with yields sprinkled in, a
+/// consumer task drains through `recv_batch` with varying windows. Every
+/// message arrives exactly once, in order, and the final batch resolves
+/// to 0 only after the producer is gone.
+#[test]
+fn recv_batch_waker_handoff_across_workers() {
+    #[cfg(debug_assertions)]
+    const STREAM: u64 = 5_000;
+    #[cfg(not(debug_assertions))]
+    const STREAM: u64 = 200_000;
+
+    for workers in [1usize, 2, 8] {
+        for window in [1usize, 3, 16] {
+            let rt = Runtime::new(workers);
+            let (mut tx, mut rx) = spsc::<u64>();
+            let producer = rt.spawn(async move {
+                for i in 0..STREAM {
+                    tx.send(i).unwrap();
+                    if i % 64 == 0 {
+                        executor::yield_now().await;
+                    }
+                }
+            });
+            let consumer = rt.spawn(async move {
+                let mut out = VecDeque::new();
+                let mut expected = 0u64;
+                loop {
+                    let n = rx.recv_batch(window, &mut out).await;
+                    if n == 0 {
+                        break;
+                    }
+                    assert!(n <= window.max(1), "{workers} workers, window {window}");
+                    while let Some(value) = out.pop_front() {
+                        assert_eq!(value, expected, "{workers} workers, window {window}");
+                        expected += 1;
+                    }
+                }
+                expected
+            });
+            rt.block_on(producer).unwrap();
+            assert_eq!(
+                rt.block_on(consumer).unwrap(),
+                STREAM,
+                "{workers} workers, window {window}"
+            );
+        }
+    }
+}
+
+/// Bounded-mode park/unpark under a deliberately full ring: a tiny
+/// capacity forces the producer through the back-pressure park on nearly
+/// every send while consumers of varying speed drain it. The capacity
+/// invariant (`in flight <= k`) is asserted on every observation.
+#[test]
+fn bounded_park_unpark_under_full_ring() {
+    #[cfg(debug_assertions)]
+    const STREAM: u64 = 5_000;
+    #[cfg(not(debug_assertions))]
+    const STREAM: u64 = 100_000;
+
+    for capacity in [1usize, 2, 7] {
+        for workers in [1usize, 2, 8] {
+            let rt = Runtime::new(workers);
+            let (mut tx, mut rx) = spsc_bounded::<u64>(capacity);
+            let producer = rt.spawn(async move {
+                for i in 0..STREAM {
+                    tx.send_wait(i).await.unwrap();
+                }
+            });
+            let consumer = rt.spawn(async move {
+                let mut expected = 0u64;
+                loop {
+                    assert!(
+                        rx.len() <= capacity,
+                        "capacity {capacity} exceeded: {} in flight",
+                        rx.len()
+                    );
+                    match rx.recv().await {
+                        Some(value) => {
+                            assert_eq!(value, expected, "capacity {capacity}");
+                            expected += 1;
+                            if value % 97 == 0 {
+                                executor::yield_now().await;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                expected
+            });
+            rt.block_on(producer).unwrap();
+            assert_eq!(
+                rt.block_on(consumer).unwrap(),
+                STREAM,
+                "capacity {capacity}"
+            );
+        }
+    }
+}
+
+/// The sync `try_send` path on a full bounded ring: `Full` is returned
+/// (with the value recoverable), never a growth, and the ring recovers
+/// as the consumer drains.
+#[test]
+fn bounded_try_send_full_is_recoverable() {
+    let (mut tx, mut rx) = spsc_bounded::<u64>(3);
+    let mut next = 0u64;
+    let mut expected = 0u64;
+    for _ in 0..10_000 {
+        match tx.try_send(next) {
+            Ok(()) => next += 1,
+            Err(TrySendError::Full(value)) => {
+                assert_eq!(value, next);
+                assert_eq!(rx.try_recv(), Some(expected));
+                expected += 1;
+            }
+            Err(TrySendError::Closed(_)) => unreachable!("receiver alive"),
+        }
+    }
+    while let Some(value) = rx.try_recv() {
+        assert_eq!(value, expected);
+        expected += 1;
+    }
+    assert_eq!(expected, next);
+}
+
+/// Drop-mid-batch leak check: payloads drained into the batch stash but
+/// never consumed, payloads still queued in the ring, and payloads popped
+/// normally must each drop exactly once when everything is torn down —
+/// for both a drop-counting payload and a drop-counting ZST.
+#[test]
+fn drop_mid_batch_is_leak_free() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    #[derive(Debug)]
+    struct Counted(#[allow(dead_code)] u64);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    static ZST_DROPS: AtomicUsize = AtomicUsize::new(0);
+    #[derive(Debug)]
+    struct ZstToken;
+    impl Drop for ZstToken {
+        fn drop(&mut self) {
+            ZST_DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    const SENT: usize = 500;
+    {
+        let (mut tx, mut rx) = spsc::<Counted>();
+        for i in 0..SENT {
+            tx.send(Counted(i as u64)).unwrap();
+        }
+        let mut out = VecDeque::new();
+        // Drain two windows into the stash, consume only part of one.
+        assert_eq!(rx.try_recv_batch(64, &mut out), 64);
+        assert_eq!(rx.try_recv_batch(32, &mut out), 32);
+        for _ in 0..40 {
+            drop(out.pop_front().unwrap());
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 40);
+        // 56 still in `out`, the rest still queued; drop everything.
+        drop(out);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 96);
+        drop((tx, rx));
+    }
+    assert_eq!(DROPS.load(Ordering::Relaxed), SENT);
+
+    {
+        let (mut tx, mut rx) = spsc::<ZstToken>();
+        for _ in 0..SENT {
+            tx.send(ZstToken).unwrap();
+        }
+        let mut out = VecDeque::new();
+        assert_eq!(rx.try_recv_batch(100, &mut out), 100);
+        drop(out);
+        assert_eq!(ZST_DROPS.load(Ordering::Relaxed), 100);
+        drop((tx, rx));
+    }
+    assert_eq!(ZST_DROPS.load(Ordering::Relaxed), SENT);
 }
 
 /// Cross-thread wake of a parked `block_on` receiver: the sender fires

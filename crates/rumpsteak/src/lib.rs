@@ -95,7 +95,8 @@ use std::fmt;
 pub use role::{Message, Role, Route};
 pub use serialize::{serialize, ChoicesFsm, SessionFsm};
 pub use session::{
-    try_session, Branch, Choice, Choices, End, FromState, IntoSession, Receive, Select, Send, State,
+    try_session, Branch, Choice, Choices, End, FromState, IntoSession, Receive, Select,
+    SelectFuture, Send, SendFuture, State,
 };
 
 /// Errors surfaced by session operations at runtime.

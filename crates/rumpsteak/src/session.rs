@@ -86,23 +86,55 @@ where
 {
     /// Enqueues `label` for `R` and returns the continuation.
     ///
-    /// Sends never block (channels are unbounded asynchronous queues);
-    /// the returned future is immediately ready and exists to mirror
-    /// transports with back-pressure. The future is a plain ADT rather
-    /// than an `async fn` so that auto-trait (`Send`) inference never
-    /// hits higher-ranked lifetime obligations when sessions are spawned.
-    pub fn send(self, label: L) -> std::future::Ready<Result<S>> {
-        let result = self
-            .state
-            .role
-            .route()
-            .send(Message::upcast(label))
-            .map_err(|_| Error::ChannelClosed)
-            .map(|()| {
+    /// The send commits through the transport's reserve/commit path: a
+    /// ring slot is reserved and the wire message is written directly
+    /// into it. On the default growable links this resolves on the first
+    /// poll (sends never block — channels are the paper's unbounded
+    /// asynchronous queues); on a capacity-bounded link the future parks
+    /// under back-pressure until the peer frees a slot. The future is a
+    /// plain ADT rather than an `async fn` so that auto-trait (`Send`)
+    /// inference never hits higher-ranked lifetime obligations when
+    /// sessions are spawned.
+    pub fn send(self, label: L) -> SendFuture<'q, Q, R, L, S> {
+        SendFuture {
+            state: Some(self.state),
+            message: Some(Message::upcast(label)),
+            phantom: PhantomData,
+        }
+    }
+}
+
+/// Future returned by [`Send::send`]; a hand-written ADT so that
+/// `Send`-ness is structural.
+#[must_use = "futures do nothing unless awaited"]
+pub struct SendFuture<'q, Q: Role, R, L, S> {
+    state: Option<State<'q, Q>>,
+    /// The upcast wire message, taken by the transport on commit.
+    message: Option<Q::Message>,
+    phantom: PhantomData<(R, L, S)>,
+}
+
+impl<'q, Q, R, L, S> Future for SendFuture<'q, Q, R, L, S>
+where
+    Q: Route<R>,
+    Q::Message: Message<L>,
+    S: FromState<'q, Role = Q>,
+{
+    type Output = Result<S>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
+        // No structural pinning: fields are only moved out, never pinned.
+        let this = unsafe { self.get_unchecked_mut() };
+        let state = this.state.as_mut().expect("polled after completion");
+        match state.role.route().poll_send(cx, &mut this.message) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(_)) => Poll::Ready(Err(Error::ChannelClosed)),
+            Poll::Ready(Ok(())) => {
                 trace_event::<Q, R, L>(telemetry::trace::Kind::Send);
-                S::from_state(self.state)
-            });
-        std::future::ready(result)
+                let state = this.state.take().expect("checked above");
+                Poll::Ready(Ok(S::from_state(state)))
+            }
+        }
     }
 }
 
@@ -214,25 +246,56 @@ where
     Q: Route<R>,
 {
     /// Sends the chosen `label`; the continuation depends on the label's
-    /// variant in `C`. Like [`Send::send`], the returned future is ready
-    /// immediately.
-    pub fn select<L>(self, label: L) -> std::future::Ready<Result<C::Continuation>>
+    /// variant in `C`. Like [`Send::send`], the send goes through the
+    /// transport's reserve/commit path: immediate on growable links,
+    /// parking under back-pressure on capacity-bounded ones.
+    pub fn select<L>(self, label: L) -> SelectFuture<'q, Q, R, C, L>
     where
+        Q: Role,
         Q::Message: Message<L>,
         C: Choice<'q, L>,
         C::Continuation: FromState<'q, Role = Q>,
     {
-        let result = self
-            .state
-            .role
-            .route()
-            .send(Message::upcast(label))
-            .map_err(|_| Error::ChannelClosed)
-            .map(|()| {
+        SelectFuture {
+            state: Some(self.state),
+            message: Some(Message::upcast(label)),
+            phantom: PhantomData,
+        }
+    }
+}
+
+/// Future returned by [`Select::select`]; a hand-written ADT so that
+/// `Send`-ness is structural.
+#[must_use = "futures do nothing unless awaited"]
+pub struct SelectFuture<'q, Q: Role, R, C, L> {
+    state: Option<State<'q, Q>>,
+    /// The upcast wire message, taken by the transport on commit.
+    message: Option<Q::Message>,
+    phantom: PhantomData<(R, C, L)>,
+}
+
+impl<'q, Q, R, C, L> Future for SelectFuture<'q, Q, R, C, L>
+where
+    Q: Route<R>,
+    Q::Message: Message<L>,
+    C: Choice<'q, L>,
+    C::Continuation: FromState<'q, Role = Q>,
+{
+    type Output = Result<C::Continuation>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
+        // No structural pinning: fields are only moved out, never pinned.
+        let this = unsafe { self.get_unchecked_mut() };
+        let state = this.state.as_mut().expect("polled after completion");
+        match state.role.route().poll_send(cx, &mut this.message) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(_)) => Poll::Ready(Err(Error::ChannelClosed)),
+            Poll::Ready(Ok(())) => {
                 trace_event::<Q, R, L>(telemetry::trace::Kind::Select);
-                C::Continuation::from_state(self.state)
-            });
-        std::future::ready(result)
+                let state = this.state.take().expect("checked above");
+                Poll::Ready(Ok(C::Continuation::from_state(state)))
+            }
+        }
     }
 }
 

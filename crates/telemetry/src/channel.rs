@@ -8,6 +8,17 @@
 //! the reported high-watermark is the maximum over every session ever
 //! run — which is exactly the quantity the static bound promises to cap.
 //!
+//! Beyond the watermark-vs-bound check, the cell carries the data-plane
+//! efficiency counters the zero-copy path is judged by: `sends` against
+//! `wakes` (how many messages travelled per waker handoff), `batches`
+//! against `batched_messages` (the realised batch factor), pool
+//! `hits`/`misses` (payload-buffer reuse against the k-MC working set),
+//! `backpressure_parks` (a *verified* protocol on a bounded ring must
+//! report zero) and `shrinks` (oversized rings retired at quiescent
+//! points). The registered `batch_window` mirrors the k-MC bound the
+//! receive window was sized from, so tooling can assert
+//! `batch_window <= kmc_bound` per link.
+//!
 //! Hot-path updates (`LinkStats::record_depth` and friends) are relaxed
 //! atomic RMWs on the shared cell; the global registry mutex is touched
 //! only on registration (link creation) and snapshots, never per message.
@@ -31,12 +42,33 @@ struct LinkCell {
     high_watermark: Counter,
     /// Ring growth events.
     grows: Counter,
+    /// Quiescent-point shrink events (oversized buffers retired).
+    shrinks: Counter,
     /// Waker-handoff CAS retries (contended registration/wake races).
     waker_retries: Counter,
+    /// Messages published.
+    sends: Counter,
+    /// Consumer wakeups actually delivered (armed waker handed to the
+    /// scheduler); `sends - wakes` messages travelled for free.
+    wakes: Counter,
+    /// Batch-receive drains performed.
+    batches: Counter,
+    /// Messages moved by those drains (`batched_messages / batches` is
+    /// the realised window).
+    batched_messages: Counter,
+    /// Payload buffers served from the link's pool.
+    pool_hits: Counter,
+    /// Payload buffers freshly allocated because the pool was empty.
+    pool_misses: Counter,
+    /// Producer parks on a full bounded ring (back-pressure engaged;
+    /// zero for a verified protocol running at its k-MC capacity).
+    backpressure_parks: Counter,
     /// Link instances created under this name pair.
     instances: Counter,
     /// Statically verified k-MC bound; 0 = not registered.
     bound: AtomicU64,
+    /// Batch-receive window the link runs with; 0 = not registered.
+    batch_window: AtomicU64,
 }
 
 #[cfg(feature = "telemetry")]
@@ -60,9 +92,18 @@ fn cell(from: &'static str, to: &'static str) -> Arc<LinkCell> {
                 to,
                 high_watermark: Counter::new(),
                 grows: Counter::new(),
+                shrinks: Counter::new(),
                 waker_retries: Counter::new(),
+                sends: Counter::new(),
+                wakes: Counter::new(),
+                batches: Counter::new(),
+                batched_messages: Counter::new(),
+                pool_hits: Counter::new(),
+                pool_misses: Counter::new(),
+                backpressure_parks: Counter::new(),
                 instances: Counter::new(),
                 bound: AtomicU64::new(0),
+                batch_window: AtomicU64::new(0),
             })
         })
         .clone()
@@ -77,6 +118,22 @@ fn cell(from: &'static str, to: &'static str) -> Arc<LinkCell> {
 pub struct LinkStats {
     #[cfg(feature = "telemetry")]
     cell: Option<Arc<LinkCell>>,
+}
+
+/// Expands to a no-op recorder in disabled builds and a guarded
+/// cell update in telemetry builds — every recorder below has the
+/// same shape.
+macro_rules! recorder {
+    ($(#[$doc:meta])* $name:ident => |$cell:ident| $body:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(&self) {
+            #[cfg(feature = "telemetry")]
+            if let Some($cell) = &self.cell {
+                $body;
+            }
+        }
+    };
 }
 
 impl LinkStats {
@@ -108,22 +165,56 @@ impl LinkStats {
         let _ = depth;
     }
 
-    /// Records one ring growth event.
-    #[inline]
-    pub fn record_grow(&self) {
-        #[cfg(feature = "telemetry")]
-        if let Some(cell) = &self.cell {
-            cell.grows.incr();
-        }
+    recorder! {
+        /// Records one ring growth event.
+        record_grow => |cell| cell.grows.incr()
     }
 
-    /// Records one waker-handoff CAS retry.
+    recorder! {
+        /// Records one quiescent-point shrink event.
+        record_shrink => |cell| cell.shrinks.incr()
+    }
+
+    recorder! {
+        /// Records one waker-handoff CAS retry.
+        record_waker_retry => |cell| cell.waker_retries.incr()
+    }
+
+    recorder! {
+        /// Records one published message.
+        record_send => |cell| cell.sends.incr()
+    }
+
+    recorder! {
+        /// Records one delivered consumer wakeup.
+        record_wake => |cell| cell.wakes.incr()
+    }
+
+    recorder! {
+        /// Records one payload buffer served from the pool.
+        record_pool_hit => |cell| cell.pool_hits.incr()
+    }
+
+    recorder! {
+        /// Records one payload buffer allocated past the pool.
+        record_pool_miss => |cell| cell.pool_misses.incr()
+    }
+
+    recorder! {
+        /// Records one producer park under back-pressure.
+        record_backpressure_park => |cell| cell.backpressure_parks.incr()
+    }
+
+    /// Records one batch-receive drain of `n` messages.
     #[inline]
-    pub fn record_waker_retry(&self) {
+    pub fn record_batch(&self, n: u64) {
         #[cfg(feature = "telemetry")]
         if let Some(cell) = &self.cell {
-            cell.waker_retries.incr();
+            cell.batches.incr();
+            cell.batched_messages.add(n);
         }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
     }
 }
 
@@ -135,6 +226,24 @@ pub fn register(from: &'static str, to: &'static str) -> LinkStats {
         let cell = cell(from, to);
         cell.instances.incr();
         LinkStats { cell: Some(cell) }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (from, to);
+        LinkStats::default()
+    }
+}
+
+/// Attaches to the directed link `from → to` *without* counting a new
+/// instance: auxiliary structures sharing a link's telemetry cell (its
+/// payload-buffer pool, say) record onto the same counters without
+/// inflating `instances`. No-op handle in disabled builds.
+pub fn attach(from: &'static str, to: &'static str) -> LinkStats {
+    #[cfg(feature = "telemetry")]
+    {
+        LinkStats {
+            cell: Some(cell(from, to)),
+        }
     }
     #[cfg(not(feature = "telemetry"))]
     {
@@ -159,6 +268,23 @@ pub fn set_bound(from: &'static str, to: &'static str, k: u64) {
     let _ = (from, to, k);
 }
 
+/// Registers the batch-receive window the link `from → to` runs with,
+/// so snapshots can check it against the registered k-MC bound.
+/// Re-registration keeps the larger window (mirroring [`set_bound`]).
+pub fn set_batch_window(from: &'static str, to: &'static str, window: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if window == 0 {
+            return;
+        }
+        cell(from, to)
+            .batch_window
+            .fetch_max(window, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (from, to, window);
+}
+
 /// Point-in-time statistics for one directed link.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinkSnapshot {
@@ -170,12 +296,30 @@ pub struct LinkSnapshot {
     pub high_watermark: u64,
     /// Ring growth events.
     pub grows: u64,
+    /// Quiescent-point shrink events.
+    pub shrinks: u64,
     /// Waker-handoff CAS retries.
     pub waker_retries: u64,
+    /// Messages published.
+    pub sends: u64,
+    /// Consumer wakeups delivered.
+    pub wakes: u64,
+    /// Batch-receive drains.
+    pub batches: u64,
+    /// Messages moved by batch drains.
+    pub batched_messages: u64,
+    /// Payload buffers served from the pool.
+    pub pool_hits: u64,
+    /// Payload buffers allocated past the pool.
+    pub pool_misses: u64,
+    /// Producer parks under back-pressure.
+    pub backpressure_parks: u64,
     /// Link instances created under this name pair.
     pub instances: u64,
     /// Registered k-MC bound, if any.
     pub kmc_bound: Option<u64>,
+    /// Registered batch-receive window, if any.
+    pub batch_window: Option<u64>,
 }
 
 impl LinkSnapshot {
@@ -191,6 +335,16 @@ impl LinkSnapshot {
     pub fn violates_bound(&self) -> bool {
         matches!(self.kmc_bound, Some(k) if self.high_watermark > k)
     }
+
+    /// True when a batch window is registered *above* the registered
+    /// k-MC bound — draining more than k per round-trip would read past
+    /// what the verification covers.
+    pub fn violates_batch_window(&self) -> bool {
+        matches!(
+            (self.batch_window, self.kmc_bound),
+            (Some(window), Some(k)) if window > k
+        )
+    }
 }
 
 /// Snapshots every registered link, sorted by `(from, to)`. Empty in
@@ -204,14 +358,24 @@ pub fn snapshot() -> Vec<LinkSnapshot> {
             .values()
             .map(|cell| {
                 let bound = cell.bound.load(Ordering::Relaxed);
+                let batch_window = cell.batch_window.load(Ordering::Relaxed);
                 LinkSnapshot {
                     from: cell.from,
                     to: cell.to,
                     high_watermark: cell.high_watermark.get(),
                     grows: cell.grows.get(),
+                    shrinks: cell.shrinks.get(),
                     waker_retries: cell.waker_retries.get(),
+                    sends: cell.sends.get(),
+                    wakes: cell.wakes.get(),
+                    batches: cell.batches.get(),
+                    batched_messages: cell.batched_messages.get(),
+                    pool_hits: cell.pool_hits.get(),
+                    pool_misses: cell.pool_misses.get(),
+                    backpressure_parks: cell.backpressure_parks.get(),
                     instances: cell.instances.get(),
                     kmc_bound: (bound > 0).then_some(bound),
+                    batch_window: (batch_window > 0).then_some(batch_window),
                 }
             })
             .collect();
@@ -278,11 +442,70 @@ mod tests {
     }
 
     #[test]
+    fn data_plane_counters_round_trip() {
+        reset();
+        let stats = register("PlaneA", "PlaneB");
+        set_bound("PlaneA", "PlaneB", 8);
+        set_batch_window("PlaneA", "PlaneB", 8);
+        for _ in 0..10 {
+            stats.record_send();
+        }
+        stats.record_wake();
+        stats.record_batch(6);
+        stats.record_batch(4);
+        stats.record_pool_hit();
+        stats.record_pool_hit();
+        stats.record_pool_miss();
+        stats.record_backpressure_park();
+        stats.record_shrink();
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links.iter().find(|l| l.from == "PlaneA").unwrap();
+            assert_eq!(link.sends, 10);
+            assert_eq!(link.wakes, 1);
+            assert_eq!(link.batches, 2);
+            assert_eq!(link.batched_messages, 10);
+            assert_eq!(link.pool_hits, 2);
+            assert_eq!(link.pool_misses, 1);
+            assert_eq!(link.backpressure_parks, 1);
+            assert_eq!(link.shrinks, 1);
+            assert_eq!(link.batch_window, Some(8));
+            assert!(!link.violates_batch_window());
+            // The messages-per-wake economy the batch path is judged by.
+            assert!(link.wakes < link.sends);
+        } else {
+            assert!(links.is_empty());
+        }
+        reset();
+    }
+
+    #[test]
+    fn oversized_batch_window_is_flagged() {
+        reset();
+        register("WideA", "WideB");
+        set_bound("WideA", "WideB", 2);
+        set_batch_window("WideA", "WideB", 5);
+        if crate::ENABLED {
+            let links = snapshot();
+            let link = links.iter().find(|l| l.from == "WideA").unwrap();
+            assert!(link.violates_batch_window());
+        }
+        reset();
+    }
+
+    #[test]
     fn unlabelled_stats_are_inert() {
         let stats = LinkStats::default();
         stats.record_depth(1000);
         stats.record_grow();
+        stats.record_shrink();
         stats.record_waker_retry();
+        stats.record_send();
+        stats.record_wake();
+        stats.record_batch(10);
+        stats.record_pool_hit();
+        stats.record_pool_miss();
+        stats.record_backpressure_park();
         // No panic, nothing registered.
     }
 }

@@ -13,10 +13,15 @@ Validates the instrumented artifact CI produces with
   each with `threads` worker counter blocks plus an `external` block,
   every block carrying the full counter glossary as non-negative
   integers, and at least one worker having actually run tasks,
-* `telemetry.channels` is a non-empty list of per-link rows; every row
-  with a registered k-MC bound satisfies `high_watermark <= kmc_bound`,
-  and at least one row carries a bound (the session layer must have
-  registered the statically verified depths, not just counted).
+* `telemetry.channels` is a non-empty list of per-link rows carrying
+  the full data-plane counter set (sends/wakes, batch drains, pool
+  hits/misses, back-pressure parks, shrinks); every row with a
+  registered k-MC bound satisfies `high_watermark <= kmc_bound`, every
+  row with a registered batch window satisfies
+  `batch_window <= kmc_bound` (a receive window wider than k would
+  drain past what the verification covers), and at least one row
+  carries a bound (the session layer must have registered the
+  statically verified depths, not just counted).
 
 Exit codes: 0 pass, 1 schema violation, 2 usage/IO error.
 """
@@ -37,7 +42,20 @@ COUNTERS = (
     "unparks",
 )
 
-CHANNEL_COUNTS = ("high_watermark", "grows", "waker_retries", "instances")
+CHANNEL_COUNTS = (
+    "high_watermark",
+    "grows",
+    "shrinks",
+    "waker_retries",
+    "sends",
+    "wakes",
+    "batches",
+    "batched_messages",
+    "pool_hits",
+    "pool_misses",
+    "backpressure_parks",
+    "instances",
+)
 
 
 def fail(errors):
@@ -130,6 +148,17 @@ def check_channels(channels, errors):
                 f"{where} ({name}): high_watermark {watermark} exceeds "
                 f"verified k-MC bound {bound}"
             )
+        window = link.get("batch_window")
+        if window is not None:
+            if not is_count(window) or window == 0:
+                errors.append(
+                    f"{where} ({name}).batch_window: not a positive integer"
+                )
+            elif window > bound:
+                errors.append(
+                    f"{where} ({name}): batch_window {window} exceeds "
+                    f"verified k-MC bound {bound}"
+                )
     if bounded == 0:
         errors.append(
             "telemetry.channels: no link carries a registered k-MC bound"
