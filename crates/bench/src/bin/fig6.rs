@@ -24,17 +24,20 @@
 //!
 //! `--telemetry` (instrumented builds only) appends a `"telemetry"`
 //! section to the JSON: per-worker scheduler counters for every swept
-//! thread count, and the per-channel occupancy table — each session
-//! link's high-watermark next to its statically verified k-MC bound.
-//! The run aborts if any watermark exceeds its bound, so a telemetry
-//! sweep doubles as an end-to-end check of the verifier's guarantee.
+//! thread count, the per-channel occupancy table — each session link's
+//! high-watermark next to its statically verified k-MC bound — and the
+//! per-remote-link transport table (frames, bytes, window stalls,
+//! reconnects, socket send window vs k-MC bound). The run aborts if any
+//! watermark exceeds its bound or any send window is registered above
+//! its bound, so a telemetry sweep doubles as an end-to-end check of
+//! the verifier's guarantee.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use bench::protocols::{double_buffering, fft8, streaming};
 use bench::timing::{measure, throughput};
-use bench::{channels, meta, scaling};
+use bench::{channels, meta, scaling, transport};
 use dep_telemetry as telemetry;
 
 const BUDGET: Duration = Duration::from_millis(300);
@@ -138,6 +141,12 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
     // `bench::channels`). Payload bursts move real bytes per message, so
     // they run fewer messages than the token burst.
     let (chan_rounds, chan_burst, chan_payload_burst) = (2000u32, 20000u32, 5000u32);
+    // Networked-transport microbenches: rounds per framed ping-pong run
+    // and messages per k-bounded burst run (see `bench::transport`).
+    // Each run sets up a real connected socket pair plus its writer and
+    // reader threads, so these use fewer iterations than the in-process
+    // channel rows.
+    let (net_rounds, net_burst) = (500u32, 5000u32);
     // Template-generated topologies (pring.scr / pmesh.scr), instantiated
     // once per sweep: the projection cost is setup, not measured time.
     let gen_ring = scaling::generated::GeneratedRing::new(ring_tasks);
@@ -247,6 +256,35 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
                 },
             );
         }
+        // Networked transport: the same ping-pong/burst shapes over the
+        // framed socket path, windows capped at the k-MC bound (1 for
+        // the alternating ping-pong, 64 for the burst). One op = one
+        // framed round trip / one delivered frame.
+        bench(
+            "transport_tcp_pingpong",
+            format!("\"rounds\": {net_rounds}"),
+            u64::from(net_rounds),
+            &mut || {
+                transport::tcp_ping_pong(&rt, net_rounds);
+            },
+        );
+        #[cfg(unix)]
+        bench(
+            "transport_uds_pingpong",
+            format!("\"rounds\": {net_rounds}"),
+            u64::from(net_rounds),
+            &mut || {
+                transport::uds_ping_pong(&rt, net_rounds);
+            },
+        );
+        bench(
+            "transport_tcp_burst",
+            format!("\"messages\": {net_burst}"),
+            u64::from(net_burst),
+            &mut || {
+                transport::tcp_burst(&rt, net_burst);
+            },
+        );
         bench(
             "streaming",
             format!("\"n\": {stream_n}"),
@@ -283,9 +321,9 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
         }
     }
 
-    // Smoke assertion (runs in `--quick` CI too): the channel-layer rows
-    // must populate with real timings, so a refactor that silently drops
-    // the SPSC sweep cannot pass the gate by omission.
+    // Smoke assertion (runs in `--quick` CI too): the channel-layer and
+    // transport rows must populate with real timings, so a refactor that
+    // silently drops either sweep cannot pass the gate by omission.
     for required in [
         "channel_spsc_pingpong",
         "channel_mpsc_pingpong",
@@ -294,6 +332,10 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
         "channel_spsc_burst_1k_pooled",
         "channel_spsc_burst_16k",
         "channel_spsc_burst_16k_pooled",
+        "transport_tcp_pingpong",
+        #[cfg(unix)]
+        "transport_uds_pingpong",
+        "transport_tcp_burst",
     ] {
         assert!(
             results
@@ -471,6 +513,57 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             link.wakes,
             link.sends,
         );
+    }
+    out.push_str("    ],\n    \"transport\": [\n");
+
+    // Remote links registered by the transport benches: per-link frame
+    // and byte counters next to the socket send window and the k-MC
+    // bound it was derived from. A window above its bound would buffer
+    // more frames than the verification covers — hard-fail, same as a
+    // channel watermark violation.
+    let remote = telemetry::transport::snapshot();
+    assert!(
+        remote.iter().any(|link| link.send_window.is_some()),
+        "--telemetry sweep registered no transport windows — the \
+         transport benches did not run through labelled remote links"
+    );
+    for (index, link) in remote.iter().enumerate() {
+        assert!(
+            !link.window_exceeds_bound(),
+            "transport {} -> {} runs a send window past its k-MC bound: \
+             window {:?} > k = {:?}",
+            link.from,
+            link.to,
+            link.send_window,
+            link.kmc_bound,
+        );
+        let json_u64 = |value: Option<u64>| match value {
+            Some(v) => v.to_string(),
+            None => "null".to_owned(),
+        };
+        let window = json_u64(link.send_window);
+        let bound = json_u64(link.kmc_bound);
+        let _ = write!(
+            out,
+            "      {{\"from\": \"{}\", \"to\": \"{}\", \"frames_sent\": {}, \
+             \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \
+             \"window_stalls\": {}, \"reconnects\": {}, \"instances\": {}, \
+             \"send_window\": {window}, \"kmc_bound\": {bound}}}",
+            link.from,
+            link.to,
+            link.frames_sent,
+            link.frames_received,
+            link.bytes_sent,
+            link.bytes_received,
+            link.window_stalls,
+            link.reconnects,
+            link.instances,
+        );
+        out.push_str(if index + 1 < remote.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("    ]\n  }\n");
     out

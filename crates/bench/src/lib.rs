@@ -13,6 +13,9 @@
 //! * [`channels`] — channel-layer microbenchmarks (SPSC ping-pong and
 //!   burst throughput vs the mutex-MPSC baseline), also swept by
 //!   `fig6 --json`,
+//! * [`transport`] — networked-transport microbenchmarks (framed
+//!   loopback TCP/UDS ping-pong and k-bounded burst) measuring the
+//!   distributed backend's wire path, also swept by `fig6 --json`,
 //! * [`meta`] — provenance metadata (git revision, rustc version,
 //!   timestamp) stamped into the JSON artifacts,
 //! * [`table1`] — the expressiveness matrix of Table 1,
@@ -28,4 +31,5 @@ pub mod protocols;
 pub mod scaling;
 pub mod table1;
 pub mod timing;
+pub mod transport;
 pub mod verification;

@@ -23,7 +23,10 @@ pub struct Ready;
 pub struct Value(pub Buffer);
 
 messages! {
-    enum Label { Ready(Ready), Value(Value): buffer }
+    // `wire` derives the byte format (`Buffer` encodes as a u32 count
+    // plus little-endian elements), so the wire round-trip property
+    // test covers a non-trivial payload.
+    wire enum Label { Ready(Ready), Value(Value): buffer }
 }
 
 roles! {

@@ -27,7 +27,10 @@ pub struct Value(pub i32);
 pub struct Stop;
 
 messages! {
-    enum Label { Ready(Ready), Value(Value): i32, Stop(Stop) }
+    // `wire` derives the byte format, so the same protocol also runs
+    // over the distributed transport (see `bench::transport` and the
+    // two-process example).
+    wire enum Label { Ready(Ready), Value(Value): i32, Stop(Stop) }
 }
 
 roles! {

@@ -8,6 +8,7 @@
 //! rumpsteak-gen protocol.scr --param n=4          # instantiate `role w[1..n]`
 //! rumpsteak-gen protocol.scr --optimise --bound 2 # AMR-optimise projections
 //! rumpsteak-gen protocol.scr --skeleton           # runnable program skeleton
+//! rumpsteak-gen protocol.scr --skeleton --distributed  # per-process program
 //! rumpsteak-gen protocol.scr --format dot         # Graphviz FSMs
 //! rumpsteak-gen protocol.scr --format fsm         # `role: local type` lines
 //! rumpsteak-gen - < protocol.scr -o generated.rs  # stdin → file
@@ -40,6 +41,13 @@ options:
                             program: the module plus one `async fn` per
                             role driving its session through `try_session`
                             and a `main` spawning every role
+    --distributed           with --skeleton, target the framed socket
+                            transport instead of in-process channels:
+                            wire-format labels, one `NetLink` per peer,
+                            per-role `connect_*` constructors shaped by
+                            the verified k-MC bounds, and a `main`
+                            dispatching on `<ROLE> <TOPOLOGY-FILE>` so
+                            each role runs as its own OS process
     --optimise              run the AMR optimise pass: replace each role's
                             projection with the best asynchronous message
                             reordering verified against it by the sound
@@ -71,6 +79,7 @@ struct Options {
     format: Format,
     check: bool,
     skeleton: bool,
+    distributed: bool,
     optimise: bool,
     bound: Option<usize>,
     report: Option<String>,
@@ -85,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format: Format::Rust,
         check: false,
         skeleton: false,
+        distributed: false,
         optimise: false,
         bound: None,
         report: None,
@@ -106,6 +116,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--check" => options.check = true,
             "--skeleton" => options.skeleton = true,
+            "--distributed" => options.distributed = true,
             "--optimise" => options.optimise = true,
             "--bound" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(value) => options.bound = Some(value),
@@ -142,6 +153,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if options.skeleton && !matches!(options.format, Format::Rust) {
         return Err("--skeleton only applies to the rust format".into());
+    }
+    if options.distributed && !options.skeleton {
+        return Err("--distributed requires --skeleton".into());
     }
     if options.report.is_some() && !options.optimise {
         return Err("--report requires --optimise".into());
@@ -255,7 +269,9 @@ fn main() -> ExitCode {
 
     let rendered = match options.format {
         Format::Rust => {
-            let result = if options.skeleton {
+            let result = if options.distributed {
+                codegen::rust_distributed_program(&analysis)
+            } else if options.skeleton {
                 codegen::rust_program(&analysis)
             } else {
                 codegen::rust_module(&analysis)

@@ -55,8 +55,24 @@ pub fn rust_module(analysis: &Analysis) -> Result<String, Error> {
     Ok(module_parts(analysis)?.text)
 }
 
-/// Builds the module text together with its naming tables.
+/// Builds the module text together with its naming tables (in-process
+/// carrier: the `roles!` channel mesh).
 pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
+    module_parts_with(analysis, false)
+}
+
+/// Builds the module text together with its naming tables. With
+/// `distributed` set, the module targets the framed socket transport:
+/// the wire-format enum derives [`Wire`](rumpsteak::wire::Wire), role
+/// structs carry one [`NetLink`](rumpsteak::net::NetLink) per peer
+/// instead of an in-process channel, and each role gets a
+/// `connect_<role>` constructor that binds its topology address,
+/// registers the verified k-MC bounds as socket send windows and dials
+/// or accepts every peer.
+pub(crate) fn module_parts_with(
+    analysis: &Analysis,
+    distributed: bool,
+) -> Result<ModuleParts, Error> {
     let protocol = &analysis.protocol;
 
     // ---- name tables -------------------------------------------------
@@ -138,7 +154,12 @@ pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
         out.push_str(&format!("//   {role}: {local}\n"));
     }
     out.push('\n');
-    out.push_str(&imports.render(!choices.is_empty()));
+    if distributed {
+        // Before the grouped `rumpsteak::{...}` import: rustfmt orders a
+        // plain `net` segment ahead of a brace group.
+        out.push_str("use rumpsteak::net::{NetLink, RemoteMesh, Topology};\n");
+    }
+    out.push_str(&imports.render(!choices.is_empty(), distributed));
     out.push('\n');
 
     for (label, sort) in &labels {
@@ -152,7 +173,13 @@ pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
     }
     out.push('\n');
 
-    out.push_str("messages! {\n    enum Label {\n");
+    if distributed {
+        // `wire` derives the byte format alongside the usual impls, so
+        // the same enum crosses process boundaries.
+        out.push_str("messages! {\n    wire enum Label {\n");
+    } else {
+        out.push_str("messages! {\n    enum Label {\n");
+    }
     for (label, sort) in &labels {
         let ty = &label_types[label];
         match payload(sort) {
@@ -162,23 +189,19 @@ pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
     }
     out.push_str("    }\n}\n\n");
 
-    out.push_str("roles! {\n    message Label;\n");
     // Statically verified per-channel bounds: when the k-MC exploration
-    // is exhaustive, its observed maxima are tight, so `connect()` can
-    // register them for runtime watermark checking (telemetry builds
-    // assert `observed_depth <= k`). Omitted when no exhaustive bound is
-    // found — an unverified number must never be registered.
+    // is exhaustive, its observed maxima are tight, so connection setup
+    // can register them for runtime watermark checking (telemetry builds
+    // assert `observed_depth <= k`) — and, distributed, as each link's
+    // socket send window. Omitted when no exhaustive bound is found — an
+    // unverified number must never be registered.
     let bounds = crate::verified_channel_bounds(analysis);
-    if !bounds.is_empty() {
-        let rendered: Vec<String> = bounds
-            .iter()
-            .map(|(from, to, depth)| format!("{} -> {}: {depth}", role_types[from], role_types[to]))
-            .collect();
-        out.push_str(&format!("    bounds {{ {} }};\n", rendered.join(", ")));
-    }
+    // Per-role `(field name, peer type)` link fields, in declaration
+    // order, shared by both carriers.
+    let mut role_fields: Vec<(String, Vec<(String, String)>)> = Vec::new();
     for (role, local) in &analysis.locals {
         let peers = local.peers();
-        let mut fields: Vec<String> = Vec::new();
+        let mut fields: Vec<(String, String)> = Vec::new();
         let mut field_names: HashSet<String> = HashSet::new();
         for peer in protocol.roles.iter().filter(|r| peers.contains(*r)) {
             let field = snake_case(peer.as_str());
@@ -188,16 +211,108 @@ pub(crate) fn module_parts(analysis: &Analysis) -> Result<ModuleParts, Error> {
                     name: field,
                 });
             }
-            fields.push(format!("{field}: {}", role_types[peer]));
+            fields.push((field, role_types[peer].clone()));
         }
-        let body = if fields.is_empty() {
-            "{}".to_owned()
-        } else {
-            format!("{{ {} }}", fields.join(", "))
-        };
-        out.push_str(&format!("    {} {body},\n", role_types[role]));
+        role_fields.push((role_types[role].clone(), fields));
     }
-    out.push_str("}\n\n");
+
+    if distributed {
+        out.push_str(
+            "// ---- distributed roles ----------------------------------------------\n\
+             // One struct per role holding a framed socket link per peer — the same\n\
+             // shape `roles!` generates, with `NetLink` as the carrier — and one\n\
+             // `connect_<role>` constructor per role: it binds the role's topology\n\
+             // address, registers the statically verified k-MC bounds (each link's\n\
+             // socket send window is capped at its direction's bound), then dials\n\
+             // or accepts each peer.\n",
+        );
+        for (role_ty, fields) in &role_fields {
+            out.push('\n');
+            out.push_str(&format!(
+                "/// Distributed role `{role_ty}`: one framed socket link per peer.\n\
+                 pub struct {role_ty} {{\n"
+            ));
+            for (field, _) in fields {
+                out.push_str(&format!("    {field}: NetLink<Label>,\n"));
+            }
+            out.push_str("}\n\n");
+            out.push_str(&format!(
+                "impl rumpsteak::Role for {role_ty} {{\n\
+                 \x20   type Message = Label;\n\
+                 \x20   fn name() -> &'static str {{\n\
+                 \x20       \"{role_ty}\"\n\
+                 \x20   }}\n\
+                 }}\n"
+            ));
+            for (field, peer_ty) in fields {
+                out.push_str(&format!(
+                    "\nimpl rumpsteak::Route<{peer_ty}> for {role_ty} {{\n\
+                     \x20   type Link = NetLink<Label>;\n\
+                     \x20   fn route(&mut self) -> &mut Self::Link {{\n\
+                     \x20       &mut self.{field}\n\
+                     \x20   }}\n\
+                     }}\n"
+                ));
+            }
+            let stem = fn_stem(role_ty);
+            out.push_str(&format!(
+                "\n/// Connects role `{role_ty}` to its peers as laid out in `topology`.\n\
+                 pub fn connect_{stem}(topology: Topology) -> std::io::Result<{role_ty}> {{\n"
+            ));
+            if fields.is_empty() {
+                out.push_str(&format!(
+                    "    let _mesh = RemoteMesh::<Label>::bind(topology, \"{role_ty}\")?;\n\
+                     \x20   Ok({role_ty} {{}})\n}}\n"
+                ));
+                continue;
+            }
+            out.push_str(&format!(
+                "    let mut mesh = RemoteMesh::<Label>::bind(topology, \"{role_ty}\")?;\n"
+            ));
+            for (from, to, depth) in &bounds {
+                let from_ty = &role_types[from];
+                let to_ty = &role_types[to];
+                if from_ty == role_ty || to_ty == role_ty {
+                    out.push_str(&format!(
+                        "    mesh.set_bound(\"{from_ty}\", \"{to_ty}\", {depth});\n"
+                    ));
+                }
+            }
+            for (field, peer_ty) in fields {
+                out.push_str(&format!("    let {field} = mesh.link(\"{peer_ty}\")?;\n"));
+            }
+            let names: Vec<&str> = fields.iter().map(|(field, _)| field.as_str()).collect();
+            out.push_str(&format!(
+                "    Ok({role_ty} {{ {} }})\n}}\n",
+                names.join(", ")
+            ));
+        }
+        out.push('\n');
+    } else {
+        out.push_str("roles! {\n    message Label;\n");
+        if !bounds.is_empty() {
+            let rendered: Vec<String> = bounds
+                .iter()
+                .map(|(from, to, depth)| {
+                    format!("{} -> {}: {depth}", role_types[from], role_types[to])
+                })
+                .collect();
+            out.push_str(&format!("    bounds {{ {} }};\n", rendered.join(", ")));
+        }
+        for (role_ty, fields) in &role_fields {
+            let rendered: Vec<String> = fields
+                .iter()
+                .map(|(field, peer_ty)| format!("{field}: {peer_ty}"))
+                .collect();
+            let body = if rendered.is_empty() {
+                "{}".to_owned()
+            } else {
+                format!("{{ {} }}", rendered.join(", "))
+            };
+            out.push_str(&format!("    {role_ty} {body},\n"));
+        }
+        out.push_str("}\n\n");
+    }
 
     out.push_str("session! {\n");
     for line in &sessions {
@@ -273,6 +388,16 @@ fn payload(sort: &Sort) -> Option<(String, String)> {
     }
 }
 
+/// Derives the `connect_<x>` / `run_<x>` function stem from a role type
+/// name.
+pub(crate) fn fn_stem(role_ty: &str) -> String {
+    let snake = snake_case(role_ty);
+    snake
+        .trim_start_matches("r#")
+        .trim_end_matches('_')
+        .to_owned()
+}
+
 /// Claims `base` in `used`, appending the smallest numeric suffix ≥ 2 on
 /// collision. Deterministic: allocation order is traversal order.
 fn alloc(used: &mut HashSet<String>, base: &str) -> String {
@@ -300,12 +425,18 @@ struct Imports {
 }
 
 impl Imports {
-    fn render(&self, any_choice: bool) -> String {
+    fn render(&self, any_choice: bool, distributed: bool) -> String {
         let mut items: Vec<&str> = Vec::new();
         if any_choice {
             items.push("choice");
         }
-        items.extend(["messages", "roles", "session"]);
+        // Distributed modules declare their role structs by hand, so the
+        // `roles!` macro is not imported.
+        if distributed {
+            items.extend(["messages", "session"]);
+        } else {
+            items.extend(["messages", "roles", "session"]);
+        }
         for (flag, item) in [
             (self.branch, "Branch"),
             (self.end, "End"),

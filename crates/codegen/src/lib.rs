@@ -38,7 +38,7 @@ use theory::sort::Sort;
 use theory::{LocalType, Name};
 
 pub use emit::rust_module;
-pub use skeleton::rust_program;
+pub use skeleton::{rust_distributed_program, rust_program};
 
 /// The protocol together with its per-role projections and FSMs.
 ///

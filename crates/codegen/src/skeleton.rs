@@ -22,14 +22,26 @@ use theory::local::LocalType;
 use theory::sort::Sort;
 use theory::Name;
 
-use crate::emit::{module_parts, ModuleParts};
-use crate::naming::snake_case;
+use crate::emit::{fn_stem, module_parts_with, ModuleParts};
 use crate::{Analysis, Error};
 
 /// Emits a complete runnable program: the generated module followed by
 /// per-role process skeletons and a `main` wiring them together.
 pub fn rust_program(analysis: &Analysis) -> Result<String, Error> {
-    let parts = module_parts(analysis)?;
+    program(analysis, false)
+}
+
+/// Emits a complete runnable *distributed* program: the generated module
+/// targets the framed socket transport (wire-format labels, `NetLink`
+/// role structs, per-role `connect_*` constructors), and `main`
+/// dispatches on `argv` — `<ROLE> <TOPOLOGY-FILE>` — so one binary
+/// serves every role, one OS process each.
+pub fn rust_distributed_program(analysis: &Analysis) -> Result<String, Error> {
+    program(analysis, true)
+}
+
+fn program(analysis: &Analysis, distributed: bool) -> Result<String, Error> {
+    let parts = module_parts_with(analysis, distributed)?;
     let label_sorts: BTreeMap<Name, Sort> = parts.labels.iter().cloned().collect();
 
     let mut uses_into_session = false;
@@ -60,7 +72,11 @@ pub fn rust_program(analysis: &Analysis) -> Result<String, Error> {
         out.push_str(text);
     }
     out.push('\n');
-    out.push_str(&emit_main(analysis, &parts));
+    if distributed {
+        out.push_str(&emit_distributed_main(analysis, &parts));
+    } else {
+        out.push_str(&emit_main(analysis, &parts));
+    }
     Ok(out)
 }
 
@@ -130,13 +146,58 @@ fn emit_main(analysis: &Analysis, parts: &ModuleParts) -> String {
     out
 }
 
+/// Renders the distributed `fn main`: one process per role, selected by
+/// `argv` and wired through the topology file.
+fn emit_distributed_main(analysis: &Analysis, parts: &ModuleParts) -> String {
+    let vars: Vec<String> = parts.roles.iter().map(|r| fn_stem(&r.role_ty)).collect();
+    let names: Vec<&str> = parts.roles.iter().map(|r| r.role_ty.as_str()).collect();
+    let roles_list = names.join(", ");
+    let mut out = String::from("fn main() {\n    let mut args = std::env::args().skip(1);\n");
+    out.push_str(&format!(
+        "    let (role, topology) = match (args.next(), args.next()) {{\n\
+         \x20       (Some(role), Some(topology)) => (role, topology),\n\
+         \x20       _ => {{\n\
+         \x20           eprintln!(\"usage: <ROLE> <TOPOLOGY-FILE>  (roles: {roles_list})\");\n\
+         \x20           std::process::exit(2);\n\
+         \x20       }}\n\
+         \x20   }};\n"
+    ));
+    out.push_str(
+        "    let topology = Topology::from_file(&topology).unwrap_or_else(|error| {\n\
+         \x20       eprintln!(\"error: cannot load topology: {error}\");\n\
+         \x20       std::process::exit(2);\n\
+         \x20   });\n\
+         \x20   let rt = executor::Runtime::with_default_threads();\n\
+         \x20   match role.as_str() {\n",
+    );
+    for (var, name) in vars.iter().zip(&names) {
+        out.push_str(&format!(
+            "        \"{name}\" => {{\n\
+             \x20           let mut {var} = connect_{var}(topology).expect(\"connect role {name}\");\n\
+             \x20           let handle = rt.spawn(async move {{ run_{var}(&mut {var}).await }});\n\
+             \x20           rt.block_on(handle)\n\
+             \x20               .expect(\"task panicked\")\n\
+             \x20               .expect(\"session failed\");\n\
+             \x20       }}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "        other => {{\n\
+         \x20           eprintln!(\"unknown role `{{other}}` (roles: {roles_list})\");\n\
+         \x20           std::process::exit(2);\n\
+         \x20       }}\n\
+         \x20   }}\n"
+    ));
+    out.push_str(&format!(
+        "    println!(\"role `{{role}}` of protocol `{}` ran to completion\");\n}}\n",
+        analysis.protocol.name
+    ));
+    out
+}
+
 /// Derives the `run_<x>` / local-variable stem from a role type name.
 fn fn_name(role_ty: &str) -> String {
-    let snake = snake_case(role_ty);
-    snake
-        .trim_start_matches("r#")
-        .trim_end_matches('_')
-        .to_owned()
+    fn_stem(role_ty)
 }
 
 /// Maps every multi-branch node of `local` to its `choice!` enum name,

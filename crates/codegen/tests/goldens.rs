@@ -34,6 +34,7 @@ fn fixture(dir: &str, name: &str) -> PathBuf {
 struct Directive {
     params: Vec<(Name, i64)>,
     skeleton: bool,
+    distributed: bool,
     optimise: bool,
     bound: Option<usize>,
 }
@@ -50,6 +51,7 @@ fn directive(source: &str) -> Directive {
     while let Some(word) = words.next() {
         match word {
             "--skeleton" => directive.skeleton = true,
+            "--distributed" => directive.distributed = true,
             "--optimise" => directive.optimise = true,
             "--bound" => {
                 let value = words.next().expect("--bound N in directive");
@@ -77,7 +79,9 @@ fn generate(source: &str) -> String {
         let config = optimiser::Config::with_depth(directive.bound.unwrap_or(1));
         codegen::optimise(&mut analysis, &config).expect("optimise pass succeeds");
     }
-    if directive.skeleton {
+    if directive.distributed {
+        codegen::rust_distributed_program(&analysis).expect("distributed program generates")
+    } else if directive.skeleton {
         codegen::rust_program(&analysis).expect("program generates")
     } else {
         codegen::rust_module(&analysis).expect("module generates")
@@ -113,6 +117,7 @@ fn every_protocol_matches_its_golden() {
     // The corpus never shrinks silently.
     for required in [
         "double_buffering",
+        "dstreaming",
         "gather",
         "kbuffering",
         "kbuffering_opt",
@@ -126,6 +131,23 @@ fn every_protocol_matches_its_golden() {
             "protocol corpus lost `{required}` (found {checked:?})"
         );
     }
+}
+
+/// `examples/distributed_streaming.rs` is the `dstreaming` golden
+/// shipped verbatim as a runnable example; CI runs it as two OS
+/// processes. If the emitter changes, regenerate both copies.
+#[test]
+fn distributed_example_matches_its_golden() {
+    let example =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/distributed_streaming.rs");
+    let example = std::fs::read_to_string(example).expect("distributed example exists");
+    let golden =
+        std::fs::read_to_string(fixture("goldens", "dstreaming.rs")).expect("golden exists");
+    assert_eq!(
+        example, golden,
+        "examples/distributed_streaming.rs drifted from the dstreaming golden; \
+         copy the regenerated golden over the example"
+    );
 }
 
 #[test]
@@ -249,6 +271,15 @@ fn cli_reports_missing_param() {
 fn cli_rejects_malformed_param() {
     let scr = fixture("protocols", "kbuffering.scr");
     let output = run_cli(&[scr.to_str().unwrap(), "--param", "n=lots"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn cli_rejects_distributed_without_skeleton() {
+    // `--distributed` only changes what the program emitter produces;
+    // without `--skeleton` there is no program to emit.
+    let scr = fixture("protocols", "dstreaming.scr");
+    let output = run_cli(&[scr.to_str().unwrap(), "--distributed"]);
     assert_eq!(output.status.code(), Some(2));
 }
 

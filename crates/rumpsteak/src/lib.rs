@@ -80,9 +80,12 @@
 //! assert_eq!(rt.block_on(t).unwrap().unwrap(), 42);
 //! ```
 
+pub mod net;
 pub mod role;
 pub mod serialize;
 pub mod session;
+pub mod transport;
+pub mod wire;
 
 /// Re-export of the observability layer, used by the [`roles!`] macro's
 /// `bounds` clause and available to applications that want to inspect

@@ -1,0 +1,1041 @@
+//! The distributed transport: framed sockets with k-MC-derived send
+//! windows.
+//!
+//! In-process, the paper's statically verified k-MC bounds became ring
+//! capacities and batch windows (PR 7). This module carries the same
+//! guarantee across OS processes: a [`NetLink`] is one role-to-role
+//! session link over a length-prefixed framed TCP or Unix-domain-socket
+//! stream, and its *send window* — the number of messages the sender
+//! may buffer ahead of the socket — is exactly the verified bound k for
+//! that direction. A producer overrunning the window parks
+//! (`Poll::Pending`, recorded as a `window_stall`), so the back-pressure
+//! point is derived from the verification rather than tuned; on the
+//! receiving side the inbound queue is capped at the same k, which
+//! propagates a slow consumer back through the socket's own flow
+//! control to the sender's window. Back-pressure you can prove, end to
+//! end.
+//!
+//! # Architecture
+//!
+//! The executor has no I/O reactor — by design, the scheduler knows
+//! only tasks — so each link bridges its socket with two dedicated OS
+//! threads:
+//!
+//! ```text
+//!  session task ──poll_send──▶ [outgoing SPSC, capacity k] ──▶ writer thread ──▶ socket
+//!  session task ◀─poll_recv── [incoming SPSC, capacity k] ◀── reader thread ◀── socket
+//! ```
+//!
+//! The session side reuses the lock-free SPSC rings (and their batch
+//! receive windows) unchanged, so a [`NetLink`] and an in-process
+//! [`Bidirectional`](executor::channel::Bidirectional) behave
+//! identically under the [`Transport`] trait; the threads do blocking
+//! `write_all`/`read` and park on the rings, never spinning.
+//!
+//! # Wire format
+//!
+//! Every frame is a `u32` little-endian payload length followed by the
+//! payload — a [`Wire`]-encoded label enum for data
+//! frames, a UTF-8 role name for the single handshake frame a dialing
+//! role sends first. Zero-length payloads are legal; lengths above
+//! [`MAX_FRAME`] are rejected without allocating (a corrupt or hostile
+//! peer must not abort the process).
+//!
+//! # Topology
+//!
+//! A [`Topology`] maps role names to addresses (`tcp:host:port` or
+//! `uds:/path`). For each pair of connected roles the one listed
+//! *later* dials and the one listed *earlier* accepts, so a mesh needs
+//! no coordinator; dial retries while the peer is still binding are
+//! counted as `reconnects` in the transport telemetry.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::task::{Context, Poll};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use executor::channel::{spsc_with, SendError, SpscConfig, SpscReceiver, SpscSender};
+
+use crate::telemetry;
+use crate::transport::{Disconnected, Transport};
+use crate::wire::{from_bytes, Wire};
+
+/// Largest accepted frame payload, in bytes. Frames above this are a
+/// protocol violation (or an attack) and close the link; the cap keeps
+/// a hostile 4 GiB length prefix from becoming a 4 GiB allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header (the `u32` payload length).
+pub const FRAME_HEADER: usize = 4;
+
+/// Framing failure: the byte stream does not parse as frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix above [`MAX_FRAME`].
+    Oversized(u64),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds MAX_FRAME = {MAX_FRAME}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(error: FrameError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, error)
+    }
+}
+
+/// Appends one frame (header + payload) to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized(payload.len() as u64));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Incremental frame parser: feed it byte chunks as they arrive off the
+/// socket ([`push`](Self::push)), pull complete payloads out
+/// ([`next_frame`](Self::next_frame)). Frames may arrive split across any chunk
+/// boundary — mid-header, mid-payload, several per chunk — and
+/// reassemble identically.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete payload, `Ok(None)` when more bytes
+    /// are needed. A length prefix above [`MAX_FRAME`] is an error (and
+    /// is detected from the header alone, before any payload
+    /// accumulates).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let mut header = [0u8; FRAME_HEADER];
+        for (i, byte) in header.iter_mut().enumerate() {
+            *byte = self.buf[i];
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized(len as u64));
+        }
+        if self.buf.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        self.buf.drain(..FRAME_HEADER);
+        Ok(Some(self.buf.drain(..len).collect()))
+    }
+}
+
+/// A role's endpoint address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Addr {
+    /// `tcp:host:port`.
+    Tcp(String),
+    /// `uds:/path/to/socket` (Unix only).
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl std::str::FromStr for Addr {
+    type Err = io::Error;
+
+    fn from_str(s: &str) -> io::Result<Self> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return Ok(Addr::Tcp(rest.to_owned()));
+        }
+        #[cfg(unix)]
+        if let Some(rest) = s.strip_prefix("uds:") {
+            return Ok(Addr::Uds(PathBuf::from(rest)));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("address `{s}` must start with tcp: or uds:"),
+        ))
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+            #[cfg(unix)]
+            Addr::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// The role-to-address map of one distributed protocol instance.
+///
+/// Text format: one `role address` pair per line, `#` comments and
+/// blank lines ignored. Listing order is the tie-break for connection
+/// direction (later dials earlier), so every process must load the
+/// *same* topology file — which deployment already requires, since it
+/// is where the addresses live.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    entries: Vec<(String, Addr)>,
+}
+
+impl Topology {
+    /// Parses the text format.
+    pub fn parse(text: &str) -> io::Result<Self> {
+        let mut entries: Vec<(String, Addr)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (role, addr) = line.split_once(char::is_whitespace).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("topology line {}: expected `role address`", lineno + 1),
+                )
+            })?;
+            if entries.iter().any(|(name, _)| name == role) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("topology line {}: duplicate role `{role}`", lineno + 1),
+                ));
+            }
+            entries.push((role.to_owned(), addr.trim().parse()?));
+        }
+        if entries.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "topology declares no roles",
+            ));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads and parses a topology file.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// The declared roles, in listing order.
+    pub fn roles(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// The listing position of `role`.
+    pub fn index_of(&self, role: &str) -> Option<usize> {
+        self.entries.iter().position(|(name, _)| name == role)
+    }
+
+    /// The address of `role`.
+    pub fn addr_of(&self, role: &str) -> Option<&Addr> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == role)
+            .map(|(_, addr)| addr)
+    }
+}
+
+/// A connected stream socket of either family.
+enum Socket {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Socket {
+    fn try_clone(&self) -> io::Result<Socket> {
+        match self {
+            Socket::Tcp(s) => s.try_clone().map(Socket::Tcp),
+            #[cfg(unix)]
+            Socket::Uds(s) => s.try_clone().map(Socket::Uds),
+        }
+    }
+
+    fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.shutdown(how),
+            #[cfg(unix)]
+            Socket::Uds(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for Socket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Socket::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Socket {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Socket::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Socket::Uds(s) => s.flush(),
+        }
+    }
+}
+
+fn connect(addr: &Addr) -> io::Result<Socket> {
+    match addr {
+        Addr::Tcp(hostport) => {
+            let stream = TcpStream::connect(hostport.as_str())?;
+            // Frames are the application's batching unit; Nagle on top
+            // of them only adds latency.
+            stream.set_nodelay(true)?;
+            Ok(Socket::Tcp(stream))
+        }
+        #[cfg(unix)]
+        Addr::Uds(path) => Ok(Socket::Uds(UnixStream::connect(path)?)),
+    }
+}
+
+/// A bound listening socket of either family.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn bind(addr: &Addr) -> io::Result<Self> {
+        match addr {
+            Addr::Tcp(hostport) => TcpListener::bind(hostport.as_str()).map(Listener::Tcp),
+            #[cfg(unix)]
+            Addr::Uds(path) => {
+                // A previous run's socket file would make bind fail
+                // with AddrInUse even though nobody is listening.
+                let _ = std::fs::remove_file(path);
+                UnixListener::bind(path).map(Listener::Uds)
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Socket> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Socket::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Uds(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Socket::Uds(stream))
+            }
+        }
+    }
+}
+
+/// Writes one frame synchronously (handshakes and the writer thread).
+fn write_frame(socket: &mut Socket, payload: &[u8], scratch: &mut Vec<u8>) -> io::Result<()> {
+    scratch.clear();
+    encode_frame(payload, scratch)?;
+    socket.write_all(scratch)
+}
+
+/// Reads whole frames synchronously until one is complete; leftover
+/// bytes stay in `decoder` for the next caller.
+fn read_frame(socket: &mut Socket, decoder: &mut FrameDecoder) -> io::Result<Vec<u8>> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(payload) = decoder.next_frame()? {
+            return Ok(payload);
+        }
+        match socket.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => decoder.push(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One directed pair of session queues over a framed socket; the
+/// distributed implementation of [`Transport`].
+///
+/// The outgoing queue is capacity-capped at the direction's verified
+/// k-MC bound (its *send window*): `poll_send` parks — recording a
+/// `window_stall` — when k messages are already buffered ahead of the
+/// socket. The incoming queue is capped at the opposite direction's
+/// bound and drained with the same batch-receive window the in-process
+/// links use. Unbounded directions (no registered bound) grow instead.
+pub struct NetLink<M> {
+    out_tx: Option<SpscSender<M>>,
+    in_rx: SpscReceiver<M>,
+    /// Messages drained by a batch receive but not yet handed to the
+    /// session; served before the ring is touched again.
+    stash: VecDeque<M>,
+    /// Batch-receive window for the incoming direction (1 = unbatched).
+    window: usize,
+    /// True while the current message has already recorded its stall,
+    /// so one saturated send counts one `window_stall` however often it
+    /// is polled.
+    stalled: bool,
+    stats: telemetry::transport::TransportStats,
+    writer: Option<JoinHandle<()>>,
+    reader: Option<JoinHandle<()>>,
+    /// Clone used to force the reader thread off its blocking read when
+    /// the link is dropped.
+    socket: Option<Socket>,
+}
+
+/// Construction parameters for one [`NetLink`].
+struct LinkSetup {
+    from: &'static str,
+    to: &'static str,
+    /// Verified bound of the outgoing direction (the send window).
+    send_bound: Option<usize>,
+    /// Verified bound of the incoming direction (inbound cap and batch
+    /// window).
+    recv_bound: Option<usize>,
+}
+
+impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
+    /// Wraps a connected socket. `residue` carries any bytes read past
+    /// the handshake frame — a dialing peer may have data frames on the
+    /// wire right behind it.
+    fn start(socket: Socket, setup: LinkSetup, residue: FrameDecoder) -> io::Result<Self> {
+        let LinkSetup {
+            from,
+            to,
+            send_bound,
+            recv_bound,
+        } = setup;
+        let stats = telemetry::transport::register(from, to);
+        if let Some(k) = send_bound {
+            telemetry::transport::set_window(from, to, k as u64);
+        }
+        let in_stats = telemetry::transport::register(to, from);
+
+        // The session-facing rings reuse the channel layer unchanged,
+        // labels included, so the channel registry's watermark-vs-bound
+        // check covers the distributed path too.
+        let (out_tx, out_rx) = spsc_with::<M>(SpscConfig {
+            label: Some((from, to)),
+            capacity: send_bound,
+            bound_hint: send_bound,
+        });
+        let (in_tx, in_rx) = spsc_with::<M>(SpscConfig {
+            label: Some((to, from)),
+            capacity: recv_bound,
+            bound_hint: recv_bound,
+        });
+        if telemetry::ENABLED {
+            if let Some(k) = recv_bound {
+                telemetry::channel::set_batch_window(to, from, k as u64);
+            }
+        }
+
+        let writer_socket = socket.try_clone()?;
+        let reader_socket = socket.try_clone()?;
+
+        let writer_stats = stats.clone();
+        let writer = std::thread::Builder::new()
+            .name(format!("netlink-writer {from}->{to}"))
+            .spawn(move || {
+                let mut socket = writer_socket;
+                let mut out_rx = out_rx;
+                let mut payload = Vec::new();
+                let mut scratch = Vec::new();
+                while let Some(message) = executor::block_on(out_rx.recv()) {
+                    payload.clear();
+                    message.encode(&mut payload);
+                    if write_frame(&mut socket, &payload, &mut scratch).is_err() {
+                        // The socket is gone; draining the ring keeps
+                        // the producer unblocked until it sees the
+                        // close below.
+                        break;
+                    }
+                    writer_stats.record_frame_sent((payload.len() + FRAME_HEADER) as u64);
+                }
+                // Flush-then-close: everything committed to the ring
+                // before the link was dropped is on the wire; the peer's
+                // reader sees clean EOF at a frame boundary.
+                let _ = socket.shutdown(Shutdown::Write);
+            })?;
+
+        let reader = std::thread::Builder::new()
+            .name(format!("netlink-reader {to}->{from}"))
+            .spawn(move || {
+                let mut socket = reader_socket;
+                let mut in_tx = in_tx;
+                let mut decoder = residue;
+                let mut chunk = [0u8; 8192];
+                'read: loop {
+                    loop {
+                        let payload = match decoder.next_frame() {
+                            Ok(Some(payload)) => payload,
+                            Ok(None) => break,
+                            // Oversized frame: hostile or corrupt peer;
+                            // drop the link, never panic.
+                            Err(_) => break 'read,
+                        };
+                        in_stats.record_frame_received((payload.len() + FRAME_HEADER) as u64);
+                        let message = match from_bytes::<M>(&payload) {
+                            Ok(message) => message,
+                            Err(_) => break 'read,
+                        };
+                        // A full inbound ring parks here, which stops
+                        // the socket reads below and lets the kernel's
+                        // flow control push back on the sender.
+                        if executor::block_on(in_tx.send_wait(message)).is_err() {
+                            break 'read;
+                        }
+                    }
+                    match socket.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => decoder.push(&chunk[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+                // Dropping in_tx reports ChannelClosed to the session.
+            })?;
+
+        Ok(Self {
+            out_tx: Some(out_tx),
+            in_rx,
+            stash: VecDeque::new(),
+            window: recv_bound.unwrap_or(1).max(1),
+            stalled: false,
+            stats,
+            writer: Some(writer),
+            reader: Some(reader),
+            socket: Some(socket),
+        })
+    }
+
+    /// Awaits delivery of `message` into the link (parking while the
+    /// send window is full).
+    pub async fn send(&mut self, message: M) -> Result<(), Disconnected> {
+        let mut message = Some(message);
+        std::future::poll_fn(|cx| Transport::poll_send(self, cx, &mut message)).await
+    }
+
+    /// Awaits the next message, `None` once the peer is gone and the
+    /// link drained.
+    pub async fn recv(&mut self) -> Option<M> {
+        std::future::poll_fn(|cx| Transport::poll_recv(self, cx)).await
+    }
+
+    /// Number of pending inbound messages (stashed plus queued).
+    pub fn pending(&self) -> usize {
+        self.stash.len() + self.in_rx.len()
+    }
+
+    /// The send window (verified k-MC bound of the outgoing direction),
+    /// `None` when the direction runs unbounded.
+    pub fn send_window(&self) -> Option<usize> {
+        self.out_tx.as_ref().and_then(|tx| tx.capacity())
+    }
+}
+
+impl<M: Wire + std::marker::Send + 'static> Transport for NetLink<M> {
+    type Message = M;
+
+    fn poll_send(
+        &mut self,
+        cx: &mut Context<'_>,
+        message: &mut Option<M>,
+    ) -> Poll<Result<(), Disconnected>> {
+        let stalled = &mut self.stalled;
+        let stats = &self.stats;
+        match self
+            .out_tx
+            .as_mut()
+            .expect("NetLink used after drop")
+            .poll_reserve(cx)
+        {
+            Poll::Pending => {
+                // One stall per message, however many polls it pends.
+                if !*stalled {
+                    *stalled = true;
+                    stats.record_window_stall();
+                }
+                Poll::Pending
+            }
+            Poll::Ready(Err(SendError(()))) => {
+                *stalled = false;
+                message.take().expect("poll_send polled after completion");
+                Poll::Ready(Err(Disconnected))
+            }
+            Poll::Ready(Ok(slot)) => {
+                slot.write(message.take().expect("poll_send polled after completion"));
+                *stalled = false;
+                Poll::Ready(Ok(()))
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<M> {
+        if let Some(message) = self.stash.pop_front() {
+            return Some(message);
+        }
+        if self.window > 1 {
+            if self.in_rx.try_recv_batch(self.window, &mut self.stash) > 0 {
+                return self.stash.pop_front();
+            }
+            None
+        } else {
+            self.in_rx.try_recv()
+        }
+    }
+
+    fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<M>> {
+        if let Some(message) = self.stash.pop_front() {
+            return Poll::Ready(Some(message));
+        }
+        if self.window > 1 {
+            match self.in_rx.poll_recv_batch(cx, self.window, &mut self.stash) {
+                Poll::Ready(n) if n > 0 => Poll::Ready(self.stash.pop_front()),
+                Poll::Ready(_) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            }
+        } else {
+            self.in_rx.poll_recv(cx)
+        }
+    }
+}
+
+impl<M> Drop for NetLink<M> {
+    fn drop(&mut self) {
+        // Close the outgoing ring: the writer drains what was already
+        // committed, then shuts the write half down (clean EOF for the
+        // peer).
+        drop(self.out_tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        // The reader may still be parked in a blocking read (the peer
+        // keeps its end open); shutting the receive half down forces it
+        // out.
+        if let Some(socket) = self.socket.take() {
+            let _ = socket.shutdown(Shutdown::Read);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The connection broker of one distributed process: binds the local
+/// role's listener, dials or accepts each peer (routing inbound
+/// connections by their handshake frame), and shapes every link with
+/// the registered k-MC bounds.
+pub struct RemoteMesh<M> {
+    topology: Topology,
+    me: &'static str,
+    listener: Option<Listener>,
+    /// Inbound sockets that completed their handshake for a peer whose
+    /// `link()` call has not happened yet, with any bytes read past the
+    /// handshake.
+    accepted: HashMap<String, (Socket, FrameDecoder)>,
+    /// Verified k-MC bound per directed channel.
+    bounds: HashMap<(&'static str, &'static str), usize>,
+    /// How long `link()` keeps re-dialing a peer that is not yet
+    /// listening.
+    dial_timeout: Duration,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Wire + std::marker::Send + 'static> RemoteMesh<M> {
+    /// Prepares the mesh for role `me`: binds `me`'s listener address
+    /// from the topology (peers listed later will dial it).
+    pub fn bind(topology: Topology, me: &'static str) -> io::Result<Self> {
+        let addr = topology.addr_of(me).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("role `{me}` is not in the topology"),
+            )
+        })?;
+        let listener = Listener::bind(&addr)?;
+        Ok(Self {
+            topology,
+            me,
+            listener: Some(listener),
+            accepted: HashMap::new(),
+            bounds: HashMap::new(),
+            dial_timeout: Duration::from_secs(20),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Registers the statically verified k-MC bound for the directed
+    /// channel `from → to`; links created by later
+    /// [`link`](Self::link) calls use it as their send window (or
+    /// inbound cap). Repeated registration keeps the larger bound.
+    /// Generated `remote_mesh()` constructors call this once per
+    /// direction with the bounds the checker emitted.
+    pub fn set_bound(&mut self, from: &'static str, to: &'static str, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let bound = self.bounds.entry((from, to)).or_insert(k);
+        *bound = (*bound).max(k);
+        telemetry::transport::set_bound(from, to, k as u64);
+        telemetry::channel::set_bound(from, to, k as u64);
+    }
+
+    /// How long [`link`](Self::link) keeps re-dialing a peer that is
+    /// not yet listening (default 20s).
+    pub fn set_dial_timeout(&mut self, timeout: Duration) {
+        self.dial_timeout = timeout;
+    }
+
+    /// Establishes the session link with `peer`: dials if `peer` is
+    /// listed before `me` in the topology (retrying while it binds),
+    /// accepts otherwise. Either way the link's queues are shaped by
+    /// the bounds registered for the two directions.
+    pub fn link(&mut self, peer: &'static str) -> io::Result<NetLink<M>> {
+        let me = self.me;
+        let my_index = self
+            .topology
+            .index_of(me)
+            .expect("bind() checked the local role");
+        let peer_index = self.topology.index_of(peer).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("role `{peer}` is not in the topology"),
+            )
+        })?;
+        let setup = LinkSetup {
+            from: me,
+            to: peer,
+            send_bound: self.bounds.get(&(me, peer)).copied(),
+            recv_bound: self.bounds.get(&(peer, me)).copied(),
+        };
+        let (socket, residue) = if peer_index < my_index {
+            self.dial(peer)?
+        } else {
+            self.accept_from(peer)?
+        };
+        NetLink::start(socket, setup, residue)
+    }
+
+    /// Dials `peer`, retrying while its listener is not up yet; sends
+    /// the handshake frame naming `me`.
+    fn dial(&self, peer: &'static str) -> io::Result<(Socket, FrameDecoder)> {
+        let addr = self
+            .topology
+            .addr_of(peer)
+            .expect("link() checked the peer role");
+        let stats = telemetry::transport::attach(self.me, peer);
+        let deadline = std::time::Instant::now() + self.dial_timeout;
+        let mut socket = loop {
+            match connect(addr) {
+                Ok(socket) => break socket,
+                Err(error) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            error.kind(),
+                            format!("dialing {peer} at {addr}: {error}"),
+                        ));
+                    }
+                    // The peer exists but has not bound yet — normal
+                    // during a staggered two-process start.
+                    stats.record_reconnect();
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        };
+        let mut scratch = Vec::new();
+        write_frame(&mut socket, self.me.as_bytes(), &mut scratch)?;
+        Ok((socket, FrameDecoder::new()))
+    }
+
+    /// Accepts connections until `peer`'s handshake arrives, stashing
+    /// handshaked sockets for other peers along the way.
+    fn accept_from(&mut self, peer: &str) -> io::Result<(Socket, FrameDecoder)> {
+        if let Some(ready) = self.accepted.remove(peer) {
+            return Ok(ready);
+        }
+        let listener = self.listener.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "listener already closed")
+        })?;
+        loop {
+            let mut socket = listener.accept()?;
+            let mut decoder = FrameDecoder::new();
+            let handshake = read_frame(&mut socket, &mut decoder)?;
+            let name = String::from_utf8(handshake).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "handshake is not a role name")
+            })?;
+            if name == peer {
+                return Ok((socket, decoder));
+            }
+            self.accepted.insert(name, (socket, decoder));
+        }
+    }
+}
+
+/// Builds a connected TCP loopback pair of links for the directed
+/// channels `a → b` (window `bound_ab`) and `b → a` (window
+/// `bound_ba`), registering both windows and bounds with the telemetry
+/// layer. In-process benches and tests use this to exercise the real
+/// socket path without a second process.
+pub fn loopback_pair_tcp<M: Wire + std::marker::Send + 'static>(
+    a: &'static str,
+    b: &'static str,
+    bound_ab: Option<usize>,
+    bound_ba: Option<usize>,
+) -> io::Result<(NetLink<M>, NetLink<M>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let dialed = TcpStream::connect(addr)?;
+    dialed.set_nodelay(true)?;
+    let (accepted, _) = listener.accept()?;
+    accepted.set_nodelay(true)?;
+    loopback_pair(
+        Socket::Tcp(dialed),
+        Socket::Tcp(accepted),
+        a,
+        b,
+        bound_ab,
+        bound_ba,
+    )
+}
+
+/// [`loopback_pair_tcp`] over a Unix-domain socket in the system temp
+/// directory.
+#[cfg(unix)]
+pub fn loopback_pair_uds<M: Wire + std::marker::Send + 'static>(
+    a: &'static str,
+    b: &'static str,
+    bound_ab: Option<usize>,
+    bound_ba: Option<usize>,
+) -> io::Result<(NetLink<M>, NetLink<M>)> {
+    let (dialed, accepted) = UnixStream::pair()?;
+    loopback_pair(
+        Socket::Uds(dialed),
+        Socket::Uds(accepted),
+        a,
+        b,
+        bound_ab,
+        bound_ba,
+    )
+}
+
+fn loopback_pair<M: Wire + std::marker::Send + 'static>(
+    side_a: Socket,
+    side_b: Socket,
+    a: &'static str,
+    b: &'static str,
+    bound_ab: Option<usize>,
+    bound_ba: Option<usize>,
+) -> io::Result<(NetLink<M>, NetLink<M>)> {
+    if let Some(k) = bound_ab {
+        telemetry::transport::set_bound(a, b, k as u64);
+        telemetry::channel::set_bound(a, b, k as u64);
+    }
+    if let Some(k) = bound_ba {
+        telemetry::transport::set_bound(b, a, k as u64);
+        telemetry::channel::set_bound(b, a, k as u64);
+    }
+    let link_a = NetLink::start(
+        side_a,
+        LinkSetup {
+            from: a,
+            to: b,
+            send_bound: bound_ab,
+            recv_bound: bound_ba,
+        },
+        FrameDecoder::new(),
+    )?;
+    let link_b = NetLink::start(
+        side_b,
+        LinkSetup {
+            from: b,
+            to: a,
+            send_bound: bound_ba,
+            recv_bound: bound_ab,
+        },
+        FrameDecoder::new(),
+    )?;
+    Ok((link_a, link_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_encode_and_decode() {
+        let mut out = Vec::new();
+        encode_frame(b"abc", &mut out).unwrap();
+        encode_frame(b"", &mut out).unwrap();
+        encode_frame(b"d", &mut out).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&out);
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"d"[..]));
+        assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frames_reassemble_across_any_split() {
+        let mut wire = Vec::new();
+        encode_frame(b"hello", &mut wire).unwrap();
+        encode_frame(&[0xAA; 300], &mut wire).unwrap();
+        encode_frame(b"", &mut wire).unwrap();
+        // Feed the byte stream one chunk at a time for every chunk size,
+        // including splits inside headers and payloads.
+        for chunk in 1..wire.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                decoder.push(piece);
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(frames.len(), 3, "chunk size {chunk}");
+            assert_eq!(frames[0], b"hello");
+            assert_eq!(frames[1], vec![0xAA; 300]);
+            assert_eq!(frames[2], b"");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error_not_a_panic() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FrameError::Oversized(_))
+        ));
+        // Detected from the header alone: no payload bytes were needed.
+        let mut worst = FrameDecoder::new();
+        worst.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(worst.next_frame(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn oversized_outgoing_payload_is_rejected() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode_frame(&huge, &mut out),
+            Err(FrameError::Oversized(_))
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn addr_parses_and_displays() {
+        let tcp: Addr = "tcp:127.0.0.1:9000".parse().unwrap();
+        assert_eq!(tcp, Addr::Tcp("127.0.0.1:9000".to_owned()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
+        #[cfg(unix)]
+        {
+            let uds: Addr = "uds:/tmp/role.sock".parse().unwrap();
+            assert_eq!(uds, Addr::Uds(PathBuf::from("/tmp/role.sock")));
+            assert_eq!(uds.to_string(), "uds:/tmp/role.sock");
+        }
+        assert!("127.0.0.1:9000".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn topology_parses_comments_and_rejects_duplicates() {
+        let topology = Topology::parse(
+            "# streaming over loopback\n\
+             S tcp:127.0.0.1:9000\n\
+             \n\
+             T tcp:127.0.0.1:9001  # the sink\n",
+        )
+        .unwrap();
+        assert_eq!(topology.roles().collect::<Vec<_>>(), vec!["S", "T"]);
+        assert_eq!(topology.index_of("T"), Some(1));
+        assert_eq!(
+            topology.addr_of("S"),
+            Some(&Addr::Tcp("127.0.0.1:9000".to_owned()))
+        );
+        assert!(Topology::parse("S tcp:a\nS tcp:b\n").is_err());
+        assert!(Topology::parse("S\n").is_err());
+        assert!(Topology::parse("").is_err());
+    }
+
+    #[test]
+    fn loopback_tcp_round_trips_messages() {
+        let (mut a, mut b) = loopback_pair_tcp::<u32>("LoopA", "LoopB", Some(4), Some(4)).unwrap();
+        executor::block_on(async {
+            for i in 0..32u32 {
+                a.send(i).await.unwrap();
+            }
+            for i in 0..32u32 {
+                assert_eq!(b.recv().await, Some(i));
+            }
+            b.send(99).await.unwrap();
+            assert_eq!(a.recv().await, Some(99));
+        });
+        assert_eq!(a.send_window(), Some(4));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn loopback_uds_round_trips_messages() {
+        let (mut a, mut b) =
+            loopback_pair_uds::<u32>("LoopUdsA", "LoopUdsB", Some(2), None).unwrap();
+        executor::block_on(async {
+            for i in 0..16u32 {
+                a.send(i).await.unwrap();
+                assert_eq!(b.recv().await, Some(i));
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_peer_closes_the_link() {
+        let (mut a, b) = loopback_pair_tcp::<u32>("DropA", "DropB", None, None).unwrap();
+        drop(b);
+        executor::block_on(async {
+            assert_eq!(a.recv().await, None);
+        });
+    }
+}

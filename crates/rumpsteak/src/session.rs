@@ -12,6 +12,7 @@ use std::task::Poll;
 
 use crate::role::{Message, Role, Route};
 use crate::telemetry;
+use crate::transport::Transport;
 use crate::{Error, Result};
 
 /// Records a session trace event for types `(role, peer, label)`.

@@ -1,0 +1,298 @@
+//! Hand-rolled wire serialisation for session messages.
+//!
+//! The distributed transport ([`net`](crate::net)) moves protocol labels
+//! between OS processes, so they need a byte representation. This
+//! container has no crates.io access, so instead of `serde` the repo
+//! carries its own minimal codec: [`Wire`] encodes a value into a byte
+//! vector and decodes it back from a bounds-checked [`WireReader`]
+//! cursor. The format is fixed-endian (little), length-prefixed for
+//! variable-size data, and self-contained per message — no schema
+//! evolution, no versioning — because both ends of a session link are
+//! compiled from the *same* protocol declaration, which is exactly the
+//! property the session types already enforce.
+//!
+//! The [`messages!`](crate::messages) macro's `wire enum` arm derives
+//! [`Wire`] for a protocol's label enum (a `u16` variant tag in
+//! declaration order, then the payload) and for each label struct, so a
+//! protocol opts its wire format in with one keyword:
+//!
+//! ```ignore
+//! messages! {
+//!     wire enum Label { Ready(Ready), Value(Value): i32, Stop(Stop) }
+//! }
+//! ```
+//!
+//! Every decode path returns [`WireError`] — malformed input from a
+//! socket must never panic the process.
+
+use std::fmt;
+
+/// Decoding failure: the bytes do not describe a value of the requested
+/// type. Always an *input* error — decoders never panic on malformed
+/// bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEnd {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes the buffer still had.
+        remaining: usize,
+    },
+    /// An enum tag matching no variant of the target type.
+    UnknownTag(u16),
+    /// A declared element count or byte length too large for the
+    /// remaining input (a corrupt or hostile length prefix).
+    LengthOverflow(u64),
+    /// String bytes that are not valid UTF-8.
+    InvalidUtf8,
+    /// A value decoded completely but left unconsumed bytes behind.
+    Trailing(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} byte(s), {remaining} remaining"
+            ),
+            WireError::UnknownTag(tag) => write!(f, "unknown wire tag {tag}"),
+            WireError::LengthOverflow(len) => {
+                write!(f, "declared length {len} exceeds the remaining input")
+            }
+            WireError::InvalidUtf8 => f.write_str("string payload is not valid UTF-8"),
+            WireError::Trailing(n) => write!(f, "{n} trailing byte(s) after the value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked cursor over an encoded byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes, failing (not panicking) if fewer
+    /// remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let bytes = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    /// Asserts the buffer was consumed exactly; a complete message must
+    /// account for every byte of its frame.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+/// A value with a byte representation on the session wire.
+///
+/// Encoding is infallible (it only appends to a vector); decoding
+/// returns [`WireError`] on malformed input. The derived implementations
+/// round-trip: `decode(encode(v)) == v` for every value.
+pub trait Wire: Sized {
+    /// Appends the value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value, consuming exactly the bytes [`encode`](Self::encode)
+    /// produced for it.
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value from a complete buffer, rejecting trailing bytes.
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut reader = WireReader::new(bytes);
+    let value = T::decode(&mut reader)?;
+    reader.finish()?;
+    Ok(value)
+}
+
+/// Fixed-width numeric primitives: little-endian, no prefix.
+macro_rules! wire_le {
+    ($($ty:ty),*) => {
+        $(
+            impl Wire for $ty {
+                #[inline]
+                fn encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+                #[inline]
+                fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+                    let bytes = reader.take(std::mem::size_of::<$ty>())?;
+                    Ok(<$ty>::from_le_bytes(bytes.try_into().expect("take returned n bytes")))
+                }
+            }
+        )*
+    };
+}
+
+wire_le!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(u8::decode(reader)? != 0)
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+/// `u32` element count, then each element in order. Counts are checked
+/// against the remaining input *before* any allocation, so a hostile
+/// length prefix cannot trigger an out-of-memory abort.
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (u32::try_from(self.len()).expect("vector longer than u32::MAX elements")).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = u32::decode(reader)? as usize;
+        // Every element costs at least one byte on the wire except `()`
+        // and other ZST-encodings; cap the pre-allocation at what the
+        // input could possibly hold, then decode exactly `count` items.
+        if std::mem::size_of::<T>() > 0 && count > reader.remaining() {
+            return Err(WireError::LengthOverflow(count as u64));
+        }
+        let mut items = Vec::with_capacity(count.min(reader.remaining().max(1)));
+        for _ in 0..count {
+            items.push(T::decode(reader)?);
+        }
+        Ok(items)
+    }
+}
+
+/// `u32` byte length, then UTF-8 bytes.
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (u32::try_from(self.len()).expect("string longer than u32::MAX bytes")).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(reader)? as usize;
+        if len > reader.remaining() {
+            return Err(WireError::LengthOverflow(len as u64));
+        }
+        let bytes = reader.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(0x1234u16);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-1i8);
+        round_trip(i16::MIN);
+        round_trip(i32::MIN);
+        round_trip(i64::MAX);
+        round_trip(1.5f32);
+        round_trip(-2.25f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+    }
+
+    #[test]
+    fn numbers_are_little_endian() {
+        assert_eq!(to_bytes(&0x0102_0304u32), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Vec::<i32>::new());
+        round_trip(vec![1i32, -2, 3]);
+        round_trip(vec![vec![1u8], vec![], vec![2, 3]]);
+        round_trip(String::new());
+        round_trip("héllo wire".to_owned());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = to_bytes(&7u32);
+        assert!(matches!(
+            from_bytes::<u32>(&bytes[..3]),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        // Claims u32::MAX elements with a 0-byte body.
+        let bytes = to_bytes(&u32::MAX);
+        assert!(matches!(
+            from_bytes::<Vec<i32>>(&bytes),
+            Err(WireError::LengthOverflow(_))
+        ));
+        assert!(matches!(
+            from_bytes::<String>(&bytes),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = to_bytes(&2u32);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(from_bytes::<String>(&bytes), Err(WireError::InvalidUtf8));
+    }
+}

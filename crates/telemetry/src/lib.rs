@@ -15,6 +15,11 @@
 //!   plus a registry of each link's statically verified k-MC bound, so a
 //!   snapshot can check `observed_depth <= k` per channel — the paper's
 //!   static guarantee turned into a runtime-checkable invariant.
+//! * [`transport`] — per-link statistics for the networked transport
+//!   backend (frames/bytes in each direction, window stalls under the
+//!   statically derived socket send window, dial reconnects), plus a
+//!   registry of each remote link's send window and the k-MC bound it
+//!   was sized from.
 //! * [`trace`] — per-thread bounded lock-free event rings recording
 //!   `(role, peer, label, t_ns)` for every session Send/Receive/Select/
 //!   Branch, drop-oldest with a drop counter, dumpable as Chrome
@@ -31,6 +36,7 @@
 pub mod channel;
 pub mod scheduler;
 pub mod trace;
+pub mod transport;
 
 mod counter;
 

@@ -1,0 +1,380 @@
+//! Per-link statistics for the networked transport backend.
+//!
+//! Remote session links are framed sockets between two *named* roles;
+//! the transport layer registers each direction here as `from → to`
+//! when a [`NetLink`](../../rumpsteak/net) is established, and the
+//! generated `remote_mesh()` (or a hand-written topology setup)
+//! registers both the socket send window the link was built with and
+//! the statically verified k-MC bound that window was derived from.
+//! All instances of a named link share one cell, so counters aggregate
+//! across reconnects and repeated sessions.
+//!
+//! The cell carries the wire-efficiency counters the framed path is
+//! judged by: `frames_sent`/`frames_received` against
+//! `bytes_sent`/`bytes_received` (realised frame size), `window_stalls`
+//! (sends that found the k-bounded window full and had to wait — the
+//! verified back-pressure engaging) and `reconnects` (dial retries
+//! while a peer was still binding). The registered `send_window`
+//! mirrors the k-MC bound it was sized from, so tooling can assert
+//! `send_window <= kmc_bound` per link; the occupancy watermark that
+//! the bound promises to cap is recorded exactly by the link's
+//! session-facing ring in [`channel`](crate::channel), which the
+//! transport reuses unchanged.
+//!
+//! Hot-path updates are relaxed atomic RMWs on the shared cell; the
+//! global registry mutex is touched only on registration and
+//! snapshots, never per frame.
+
+#[cfg(feature = "telemetry")]
+use std::collections::HashMap;
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "telemetry")]
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[cfg(feature = "telemetry")]
+use crate::Counter;
+
+/// Shared statistics cell for one directed remote link `from → to`.
+#[cfg(feature = "telemetry")]
+struct TransportCell {
+    from: &'static str,
+    to: &'static str,
+    /// Frames written to the socket.
+    frames_sent: Counter,
+    /// Frames decoded off the socket.
+    frames_received: Counter,
+    /// Payload + header bytes written.
+    bytes_sent: Counter,
+    /// Payload + header bytes read.
+    bytes_received: Counter,
+    /// Sends that found the k-bounded window full and had to wait.
+    window_stalls: Counter,
+    /// Dial retries before the peer accepted.
+    reconnects: Counter,
+    /// Link instances created under this name pair.
+    instances: Counter,
+    /// Socket send window the link runs with; 0 = not registered.
+    send_window: AtomicU64,
+    /// Statically verified k-MC bound; 0 = not registered.
+    kmc_bound: AtomicU64,
+}
+
+#[cfg(feature = "telemetry")]
+type Registry = Mutex<HashMap<(&'static str, &'static str), Arc<TransportCell>>>;
+
+#[cfg(feature = "telemetry")]
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+#[cfg(feature = "telemetry")]
+fn cell(from: &'static str, to: &'static str) -> Arc<TransportCell> {
+    registry()
+        .lock()
+        .expect("transport registry poisoned")
+        .entry((from, to))
+        .or_insert_with(|| {
+            Arc::new(TransportCell {
+                from,
+                to,
+                frames_sent: Counter::new(),
+                frames_received: Counter::new(),
+                bytes_sent: Counter::new(),
+                bytes_received: Counter::new(),
+                window_stalls: Counter::new(),
+                reconnects: Counter::new(),
+                instances: Counter::new(),
+                send_window: AtomicU64::new(0),
+                kmc_bound: AtomicU64::new(0),
+            })
+        })
+        .clone()
+}
+
+/// Hot-path statistics handle stored inside each instrumented remote
+/// link (and cloned into its writer/reader threads).
+///
+/// A ZST in disabled builds; [`Default`] yields an *unlabelled* handle
+/// whose recorders are no-ops even with telemetry on.
+#[derive(Clone, Default)]
+pub struct TransportStats {
+    #[cfg(feature = "telemetry")]
+    cell: Option<Arc<TransportCell>>,
+}
+
+macro_rules! recorder {
+    ($(#[$doc:meta])* $name:ident => |$cell:ident| $body:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(&self) {
+            #[cfg(feature = "telemetry")]
+            if let Some($cell) = &self.cell {
+                $body;
+            }
+        }
+    };
+}
+
+impl TransportStats {
+    /// Records one frame written to the socket carrying `bytes` bytes
+    /// (header included).
+    #[inline]
+    pub fn record_frame_sent(&self, bytes: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.frames_sent.incr();
+            cell.bytes_sent.add(bytes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = bytes;
+    }
+
+    /// Records one frame decoded off the socket carrying `bytes` bytes
+    /// (header included).
+    #[inline]
+    pub fn record_frame_received(&self, bytes: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.frames_received.incr();
+            cell.bytes_received.add(bytes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = bytes;
+    }
+
+    recorder! {
+        /// Records one send that found the window full and had to wait.
+        record_window_stall => |cell| cell.window_stalls.incr()
+    }
+
+    recorder! {
+        /// Records one dial retry before the peer accepted.
+        record_reconnect => |cell| cell.reconnects.incr()
+    }
+}
+
+/// Registers (or re-attaches to) the directed remote link `from → to`
+/// and returns its hot-path handle. No-op handle in disabled builds.
+pub fn register(from: &'static str, to: &'static str) -> TransportStats {
+    #[cfg(feature = "telemetry")]
+    {
+        let cell = cell(from, to);
+        cell.instances.incr();
+        TransportStats { cell: Some(cell) }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (from, to);
+        TransportStats::default()
+    }
+}
+
+/// Attaches to the directed remote link `from → to` *without* counting
+/// a new instance: connection setup (dial retry loops, handshake
+/// plumbing) records onto the same counters without inflating
+/// `instances`. No-op handle in disabled builds.
+pub fn attach(from: &'static str, to: &'static str) -> TransportStats {
+    #[cfg(feature = "telemetry")]
+    {
+        TransportStats {
+            cell: Some(cell(from, to)),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (from, to);
+        TransportStats::default()
+    }
+}
+
+/// Registers the socket send window the link `from → to` runs with.
+/// Re-registration keeps the larger window (mirroring
+/// [`channel::set_bound`](crate::channel::set_bound)).
+pub fn set_window(from: &'static str, to: &'static str, window: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if window == 0 {
+            return;
+        }
+        cell(from, to)
+            .send_window
+            .fetch_max(window, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (from, to, window);
+}
+
+/// Registers the statically verified k-MC bound the link's window was
+/// derived from. Re-registration keeps the larger bound.
+pub fn set_bound(from: &'static str, to: &'static str, k: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if k == 0 {
+            return;
+        }
+        cell(from, to).kmc_bound.fetch_max(k, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (from, to, k);
+}
+
+/// Point-in-time statistics for one directed remote link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Sending role name.
+    pub from: &'static str,
+    /// Receiving role name.
+    pub to: &'static str,
+    /// Frames written to the socket.
+    pub frames_sent: u64,
+    /// Frames decoded off the socket.
+    pub frames_received: u64,
+    /// Bytes written (header included).
+    pub bytes_sent: u64,
+    /// Bytes read (header included).
+    pub bytes_received: u64,
+    /// Sends that found the window full and had to wait.
+    pub window_stalls: u64,
+    /// Dial retries before the peer accepted.
+    pub reconnects: u64,
+    /// Link instances created under this name pair.
+    pub instances: u64,
+    /// Registered socket send window, if any.
+    pub send_window: Option<u64>,
+    /// Registered k-MC bound, if any.
+    pub kmc_bound: Option<u64>,
+}
+
+impl TransportSnapshot {
+    /// True when the send window is registered *above* the registered
+    /// k-MC bound — buffering more than k frames would exceed what the
+    /// verification covers.
+    pub fn window_exceeds_bound(&self) -> bool {
+        matches!(
+            (self.send_window, self.kmc_bound),
+            (Some(window), Some(k)) if window > k
+        )
+    }
+}
+
+/// Snapshots every registered remote link, sorted by `(from, to)`.
+/// Empty in disabled builds.
+pub fn snapshot() -> Vec<TransportSnapshot> {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut links: Vec<TransportSnapshot> = registry()
+            .lock()
+            .expect("transport registry poisoned")
+            .values()
+            .map(|cell| {
+                let window = cell.send_window.load(Ordering::Relaxed);
+                let bound = cell.kmc_bound.load(Ordering::Relaxed);
+                TransportSnapshot {
+                    from: cell.from,
+                    to: cell.to,
+                    frames_sent: cell.frames_sent.get(),
+                    frames_received: cell.frames_received.get(),
+                    bytes_sent: cell.bytes_sent.get(),
+                    bytes_received: cell.bytes_received.get(),
+                    window_stalls: cell.window_stalls.get(),
+                    reconnects: cell.reconnects.get(),
+                    instances: cell.instances.get(),
+                    send_window: (window > 0).then_some(window),
+                    kmc_bound: (bound > 0).then_some(bound),
+                }
+            })
+            .collect();
+        links.sort_by_key(|link| (link.from, link.to));
+        links
+    }
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+/// Clears the registry (tests and trace tools isolating phases).
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    registry()
+        .lock()
+        .expect("transport registry poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_window_round_trip() {
+        reset();
+        let stats = register("NetA", "NetB");
+        set_window("NetA", "NetB", 4);
+        set_bound("NetA", "NetB", 4);
+        stats.record_frame_sent(12);
+        stats.record_frame_sent(20);
+        stats.record_frame_received(12);
+        stats.record_window_stall();
+        stats.record_reconnect();
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links
+                .iter()
+                .find(|l| l.from == "NetA" && l.to == "NetB")
+                .expect("registered link in snapshot");
+            assert_eq!(link.frames_sent, 2);
+            assert_eq!(link.bytes_sent, 32);
+            assert_eq!(link.frames_received, 1);
+            assert_eq!(link.bytes_received, 12);
+            assert_eq!(link.window_stalls, 1);
+            assert_eq!(link.reconnects, 1);
+            assert_eq!(link.send_window, Some(4));
+            assert_eq!(link.kmc_bound, Some(4));
+            assert!(!link.window_exceeds_bound());
+        } else {
+            assert!(links.is_empty());
+        }
+        reset();
+    }
+
+    #[test]
+    fn oversized_window_is_flagged() {
+        reset();
+        register("WinA", "WinB");
+        set_window("WinA", "WinB", 7);
+        set_bound("WinA", "WinB", 2);
+        if crate::ENABLED {
+            let links = snapshot();
+            let link = links.iter().find(|l| l.from == "WinA").unwrap();
+            assert!(link.window_exceeds_bound());
+        }
+        reset();
+    }
+
+    #[test]
+    fn instances_merge_into_one_cell() {
+        reset();
+        let first = register("RetryA", "RetryB");
+        let second = register("RetryA", "RetryB");
+        first.record_window_stall();
+        second.record_window_stall();
+        if crate::ENABLED {
+            let links = snapshot();
+            let link = links.iter().find(|l| l.from == "RetryA").unwrap();
+            assert_eq!(link.instances, 2);
+            assert_eq!(link.window_stalls, 2);
+        }
+        reset();
+    }
+
+    #[test]
+    fn unlabelled_stats_are_inert() {
+        let stats = TransportStats::default();
+        stats.record_frame_sent(100);
+        stats.record_frame_received(100);
+        stats.record_window_stall();
+        stats.record_reconnect();
+        // No panic, nothing registered.
+    }
+}

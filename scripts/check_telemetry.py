@@ -21,7 +21,13 @@ Validates the instrumented artifact CI produces with
   `batch_window <= kmc_bound` (a receive window wider than k would
   drain past what the verification covers), and at least one row
   carries a bound (the session layer must have registered the
-  statically verified depths, not just counted).
+  statically verified depths, not just counted),
+* `telemetry.transport` is a non-empty list of per-socket-link rows
+  carrying the frame/byte/stall/reconnect counter set; every row with
+  both a send window and a k-MC bound registered satisfies
+  `send_window <= kmc_bound` (the socket window may never out-run the
+  verified depth), at least one row has a registered send window, and
+  at least one row moved actual frames.
 
 Exit codes: 0 pass, 1 schema violation, 2 usage/IO error.
 """
@@ -54,6 +60,16 @@ CHANNEL_COUNTS = (
     "pool_hits",
     "pool_misses",
     "backpressure_parks",
+    "instances",
+)
+
+TRANSPORT_COUNTS = (
+    "frames_sent",
+    "frames_received",
+    "bytes_sent",
+    "bytes_received",
+    "window_stalls",
+    "reconnects",
     "instances",
 )
 
@@ -165,6 +181,54 @@ def check_channels(channels, errors):
         )
 
 
+def check_transport(transport, errors):
+    if not isinstance(transport, list) or not transport:
+        errors.append("telemetry.transport: missing or empty")
+        return
+    windowed = 0
+    framed = 0
+    for i, link in enumerate(transport):
+        where = f"telemetry.transport[{i}]"
+        if not isinstance(link, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = f"{link.get('from')} -> {link.get('to')}"
+        for key in ("from", "to"):
+            if not isinstance(link.get(key), str) or not link[key]:
+                errors.append(f"{where}.{key}: missing or not a string")
+        for key in TRANSPORT_COUNTS:
+            if not is_count(link.get(key)):
+                errors.append(
+                    f"{where} ({name}).{key}: missing or not a "
+                    f"non-negative integer"
+                )
+        if is_count(link.get("frames_sent")) and link["frames_sent"] > 0:
+            framed += 1
+        window = link.get("send_window")
+        bound = link.get("kmc_bound")
+        if window is not None:
+            if not is_count(window) or window == 0:
+                errors.append(
+                    f"{where} ({name}).send_window: not a positive integer"
+                )
+                continue
+            windowed += 1
+        if bound is not None and (not is_count(bound) or bound == 0):
+            errors.append(f"{where} ({name}).kmc_bound: not a positive integer")
+            continue
+        if window is not None and bound is not None and window > bound:
+            errors.append(
+                f"{where} ({name}): send_window {window} exceeds "
+                f"verified k-MC bound {bound}"
+            )
+    if windowed == 0:
+        errors.append(
+            "telemetry.transport: no link carries a registered send window"
+        )
+    if framed == 0:
+        errors.append("telemetry.transport: no link moved any frames")
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -191,15 +255,21 @@ def main():
 
     check_scheduler(telemetry.get("scheduler"), errors)
     check_channels(telemetry.get("channels"), errors)
+    check_transport(telemetry.get("transport"), errors)
     if errors:
         fail(errors)
 
     scheduler = telemetry["scheduler"]
     channels = telemetry["channels"]
+    transport = telemetry["transport"]
     bounded = sum(1 for link in channels if link.get("kmc_bound") is not None)
+    windowed = sum(
+        1 for link in transport if link.get("send_window") is not None
+    )
     print(
         f"check_telemetry: ok — {len(scheduler)} scheduler sweep(s), "
-        f"{len(channels)} channel(s), {bounded} with verified k-MC bounds"
+        f"{len(channels)} channel(s), {bounded} with verified k-MC bounds, "
+        f"{len(transport)} transport link(s), {windowed} with socket windows"
     )
 
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the generated distributed example as two real OS processes over
+# loopback and checks both sides ran the session to completion.
+#
+# Usage:
+#     run_distributed_example.sh tcp|uds [BINARY]
+#
+# BINARY defaults to the release build of examples/distributed_streaming
+# (built with `cargo build --release --example distributed_streaming`);
+# pass a path to skip the cargo invocation, e.g. in CI after a workspace
+# build.
+#
+# Topology: role S is listed first so role T (listed later) dials S;
+# S accepts. Starting T first exercises the dial-retry path.
+set -euo pipefail
+
+mode="${1:-}"
+case "$mode" in
+    tcp | uds) ;;
+    *)
+        echo "usage: $0 tcp|uds [BINARY]" >&2
+        exit 2
+        ;;
+esac
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+binary="${2:-}"
+if [[ -z "$binary" ]]; then
+    (cd "$repo" && cargo build --release --example distributed_streaming)
+    binary="$repo/target/release/examples/distributed_streaming"
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+topology="$workdir/topology.txt"
+if [[ "$mode" == tcp ]]; then
+    # Two free loopback ports, bound briefly by python to reserve them.
+    read -r port_s port_t < <(python3 - <<'EOF'
+import socket
+sockets = [socket.socket() for _ in range(2)]
+for s in sockets:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in sockets))
+for s in sockets:
+    s.close()
+EOF
+)
+    printf 'S tcp:127.0.0.1:%s\nT tcp:127.0.0.1:%s\n' "$port_s" "$port_t" > "$topology"
+else
+    printf 'S uds:%s/s.sock\nT uds:%s/t.sock\n' "$workdir" "$workdir" > "$topology"
+fi
+
+echo "== topology ($mode) =="
+cat "$topology"
+
+# T dials S and retries until S binds, so launch order is free; start T
+# first to make the retry path do real work.
+timeout 60 "$binary" T "$topology" > "$workdir/t.log" 2>&1 &
+t_pid=$!
+status=0
+timeout 60 "$binary" S "$topology" > "$workdir/s.log" 2>&1 || status=$?
+wait "$t_pid" || status=$?
+
+echo "== role S =="
+cat "$workdir/s.log"
+echo "== role T =="
+cat "$workdir/t.log"
+
+if [[ "$status" -ne 0 ]]; then
+    echo "run_distributed_example: a role exited with status $status" >&2
+    exit 1
+fi
+for role in s t; do
+    if ! grep -q "ran to completion" "$workdir/$role.log"; then
+        echo "run_distributed_example: role ${role^^} did not report completion" >&2
+        exit 1
+    fi
+done
+echo "run_distributed_example: ok ($mode)"
