@@ -27,10 +27,15 @@
 //! thread count, the per-channel occupancy table — each session link's
 //! high-watermark next to its statically verified k-MC bound — and the
 //! per-remote-link transport table (frames, bytes, window stalls,
-//! reconnects, socket send window vs k-MC bound). The run aborts if any
-//! watermark exceeds its bound or any send window is registered above
-//! its bound, so a telemetry sweep doubles as an end-to-end check of
-//! the verifier's guarantee.
+//! reconnects, socket send window vs k-MC bound). Channel rows carry a
+//! send→recv latency histogram (`p50`/`p90`/`p99`/`p999`/`max`, stamped
+//! at slot commit and read at pop), transport rows a wire-latency
+//! histogram (frame encode to frame decode), and a `"sessions"` array
+//! reports spawn-to-teardown lifetime quantiles per role. The run
+//! aborts if any watermark exceeds its bound, any send window is
+//! registered above its bound, or any quantile ladder is non-monotone,
+//! so a telemetry sweep doubles as an end-to-end check of the
+//! verifier's guarantee.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -415,6 +420,28 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
         format!("{{{}}}", fields.join(", "))
     };
 
+    // Latency histograms render as fixed quantiles (`null` when the
+    // link recorded none — e.g. a stamp ring that only ever sent). The
+    // quantile ladder must be monotone by construction; assert it so a
+    // histogram regression fails the sweep rather than the plot.
+    let hist_json = |hist: &telemetry::hist::HistogramSnapshot| {
+        if hist.is_empty() {
+            return "null".to_owned();
+        }
+        let (p50, p90, p99, p999) = (hist.p50(), hist.p90(), hist.p99(), hist.p999());
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= hist.max,
+            "histogram quantiles are not monotone: \
+             p50={p50} p90={p90} p99={p99} p999={p999} max={}",
+            hist.max,
+        );
+        format!(
+            "{{\"count\": {}, \"p50\": {p50}, \"p90\": {p90}, \
+             \"p99\": {p99}, \"p999\": {p999}, \"max\": {}}}",
+            hist.count, hist.max,
+        )
+    };
+
     let mut out = String::new();
     out.push_str("  \"telemetry\": {\n    \"scheduler\": [\n");
     for (index, (threads, snapshot)) in scheduler.iter().enumerate() {
@@ -481,7 +508,8 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
              \"grows\": {}, \"shrinks\": {}, \"waker_retries\": {}, \
              \"sends\": {}, \"wakes\": {}, \"batches\": {}, \
              \"batched_messages\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
-             \"backpressure_parks\": {}, \"instances\": {}}}",
+             \"backpressure_parks\": {}, \"instances\": {}, \
+             \"stamp_misses\": {}, \"latency\": {}}}",
             link.from,
             link.to,
             link.high_watermark,
@@ -495,7 +523,9 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             link.pool_hits,
             link.pool_misses,
             link.backpressure_parks,
-            link.instances
+            link.instances,
+            link.stamp_misses,
+            hist_json(&link.latency),
         );
         out.push_str(if index + 1 < links.len() { ",\n" } else { "\n" });
     }
@@ -511,6 +541,14 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             "pooled burst link delivered {} wakes for {} sends — the batch \
              window saved no waker round-trips",
             link.wakes,
+            link.sends,
+        );
+        // Every slot commit stamped and every pop read the stamp back:
+        // an empty histogram here means the latency path is dead.
+        assert!(
+            !link.latency.is_empty(),
+            "pooled burst link recorded {} sends but no send->recv \
+             latency samples",
             link.sends,
         );
     }
@@ -548,7 +586,8 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             "      {{\"from\": \"{}\", \"to\": \"{}\", \"frames_sent\": {}, \
              \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \
              \"window_stalls\": {}, \"reconnects\": {}, \"instances\": {}, \
-             \"send_window\": {window}, \"kmc_bound\": {bound}}}",
+             \"send_window\": {window}, \"kmc_bound\": {bound}, \
+             \"wire_latency\": {}}}",
             link.from,
             link.to,
             link.frames_sent,
@@ -558,6 +597,7 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             link.window_stalls,
             link.reconnects,
             link.instances,
+            hist_json(&link.wire_latency),
         );
         out.push_str(if index + 1 < remote.len() {
             ",\n"
@@ -565,6 +605,43 @@ fn telemetry_section(scheduler: &[(usize, telemetry::scheduler::RuntimeSnapshot)
             "\n"
         });
     }
+    // The loopback transport bench pairs each frame encode with its
+    // decode on the in-process peer, so the wire-latency histogram must
+    // have samples; empty means the trace-context stamp path is dead.
+    if let Some(link) = remote
+        .iter()
+        .find(|l| l.from == transport::NET_PING && l.to == transport::NET_PONG)
+    {
+        assert!(
+            !link.wire_latency.is_empty(),
+            "transport link {} -> {} sent {} frames but recorded no \
+             wire latency samples",
+            link.from,
+            link.to,
+            link.frames_sent,
+        );
+    }
+    out.push_str("    ],\n    \"sessions\": [\n");
+
+    // Session spawn-to-teardown lifetimes, one histogram per role name.
+    let sessions = telemetry::hist::sessions_snapshot();
+    for (index, (role, hist)) in sessions.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"role\": \"{role}\", \"lifetime_ns\": {}}}",
+            hist_json(hist)
+        );
+        out.push_str(if index + 1 < sessions.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    assert!(
+        sessions.iter().any(|(_, hist)| !hist.is_empty()),
+        "--telemetry sweep recorded no session lifetimes — try_session \
+         never stamped spawn/teardown"
+    );
     out.push_str("    ]\n  }\n");
     out
 }

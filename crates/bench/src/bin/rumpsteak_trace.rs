@@ -14,19 +14,82 @@
 //! metadata rather than silently missing. Without the `telemetry`
 //! feature the binary exits with a pointer at the instrumented build —
 //! the uninstrumented stack records nothing to dump.
+//!
+//! # Cross-process stitching
+//!
+//! ```text
+//! rumpsteak-trace --merge s.trace t.trace [--out merged.json]
+//! ```
+//!
+//! Each distributed role writes a per-process text dump when
+//! `RUMPSTEAK_TRACE_OUT` is set; `--merge` parses the dumps, shifts
+//! every timeline by the handshake-estimated clock offsets, and emits
+//! one Chrome trace-event JSON document in which flow arrows connect
+//! each wire frame's send to its receive. Exits non-zero if any
+//! protocol edge saw frame sends but produced no matched flow — a
+//! stitching regression, not a cosmetic defect.
 
 use std::fmt::Write as _;
 
 use bench::protocols::{double_buffering, fft8, streaming};
 use dep_telemetry as telemetry;
 
+/// Parses the dumps, merges them, writes the timeline, and reports
+/// per-edge flow coverage; the process exit code is the check.
+fn merge_dumps(paths: &[String], out_path: Option<String>) -> ! {
+    if paths.len() < 2 {
+        eprintln!("--merge needs at least two per-process dump files");
+        std::process::exit(2);
+    }
+    let dumps: Vec<telemetry::trace::ProcessDump> = paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|error| panic!("failed to read {path}: {error}"));
+            telemetry::trace::parse_dump(&text)
+                .unwrap_or_else(|error| panic!("{path} is not a trace dump: {error}"))
+        })
+        .collect();
+    let (json, report) = telemetry::trace::merge_chrome_trace(&dumps);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|error| panic!("failed to write {path}: {error}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "{} flow event(s) across {} edge(s)",
+        report.flows,
+        report.edges.len()
+    );
+    let mut unmatched = false;
+    for edge in &report.edges {
+        eprintln!(
+            "  {} -> {}: {} sends, {} recvs, {} matched",
+            edge.from, edge.to, edge.sends, edge.recvs, edge.matched
+        );
+        if edge.sends > 0 && edge.matched == 0 {
+            unmatched = true;
+        }
+    }
+    if unmatched {
+        eprintln!("error: an edge with frame sends produced no matched flow");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut threads = 2usize;
     let mut which: Option<String> = None;
+    let mut merge: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--merge" => merge = Some(Vec::new()),
             "--out" => match args.next() {
                 Some(path) => out_path = Some(path),
                 None => {
@@ -42,14 +105,24 @@ fn main() {
                 }
             },
             "streaming" | "double-buffering" | "fft" | "all" => which = Some(arg),
-            other => {
-                eprintln!(
-                    "unknown argument `{other}`; expected \
-                     streaming|double-buffering|fft|all, --threads N, --out PATH"
-                );
-                std::process::exit(2);
-            }
+            other => match &mut merge {
+                // After --merge, positional arguments are dump files.
+                Some(paths) if !other.starts_with('-') => paths.push(arg),
+                _ => {
+                    eprintln!(
+                        "unknown argument `{other}`; expected \
+                         streaming|double-buffering|fft|all, --threads N, --out PATH, \
+                         or --merge DUMP... [--out PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            },
         }
+    }
+    if let Some(paths) = merge {
+        // Merging consumes dumps other processes already recorded, so
+        // it works in any build.
+        merge_dumps(&paths, out_path);
     }
     if !telemetry::ENABLED {
         eprintln!(

@@ -67,6 +67,20 @@ fn assert_link(snapshot: &[telemetry::channel::LinkSnapshot], from: &str, to: &s
         link.high_watermark > 0,
         "{from} -> {to} carried no traffic — the watermark check is vacuous"
     );
+    // Every slot commit stamps its wall-clock and every pop reads it
+    // back, so a link that carried traffic must have latency samples —
+    // and the quantile ladder they produce must be monotone.
+    assert!(
+        !link.latency.is_empty(),
+        "{from} -> {to} carried traffic but recorded no send->recv latency"
+    );
+    let (p50, p99) = (link.latency.p50(), link.latency.p99());
+    assert!(
+        p50 <= p99 && p99 <= link.latency.max,
+        "{from} -> {to} latency quantiles are not monotone: \
+         p50={p50} p99={p99} max={}",
+        link.latency.max
+    );
 }
 
 #[test]
@@ -109,6 +123,17 @@ fn streaming_watermarks_stay_within_kmc_bounds() {
     }
     assert_link(&snapshot, "S", "T", streaming::UNROLL as u64 + 1);
     assert_link(&snapshot, "T", "S", streaming::UNROLL as u64 + 1);
+
+    // Both roles ran to completion twice, so the session-lifetime
+    // registry must hold a spawn-to-teardown histogram per role.
+    let sessions = telemetry::hist::sessions_snapshot();
+    for role in ["S", "T"] {
+        let (_, lifetime) = sessions
+            .iter()
+            .find(|(name, _)| *name == role)
+            .unwrap_or_else(|| panic!("role {role} recorded no session lifetime"));
+        assert!(lifetime.count >= 2, "role {role} ran twice");
+    }
 }
 
 #[test]

@@ -8,8 +8,8 @@
 //! failures replay exactly from the printed seed.
 
 use bench::protocols::{double_buffering, streaming};
-use rumpsteak::net::{encode_frame, FrameDecoder, FRAME_HEADER};
-use rumpsteak::wire::{from_bytes, to_bytes, Wire};
+use rumpsteak::net::{encode_frame, encode_frame_traced, FrameDecoder, FRAME_HEADER};
+use rumpsteak::wire::{from_bytes, to_bytes, TraceContext, Wire};
 
 /// Xorshift64*: deterministic, seedable, good enough to sweep payload
 /// shapes and split points.
@@ -32,12 +32,22 @@ impl Rng {
 
 /// Round-trips `messages` through one framed stream delivered in
 /// `rng`-sized chunks; `check` compares each decoded message with its
-/// original.
+/// original. Every other frame carries a [`TraceContext`] (the stream a
+/// telemetry-enabled sender interleaves with an uninstrumented one),
+/// and the decoded contexts must come back verbatim.
 fn roundtrip<M: Wire>(rng: &mut Rng, messages: &[M], check: impl Fn(&M, &M)) {
     let mut stream = Vec::new();
-    for message in messages {
+    let mut contexts = Vec::new();
+    for (index, message) in messages.iter().enumerate() {
         let payload = to_bytes(message);
-        encode_frame(&payload, &mut stream).expect("bench messages are far below MAX_FRAME");
+        let trace = (index % 2 == 0).then(|| TraceContext {
+            session: rng.next(),
+            seq: index as u64,
+            t_ns: rng.next(),
+        });
+        encode_frame_traced(&payload, trace.as_ref(), &mut stream)
+            .expect("bench messages are far below MAX_FRAME");
+        contexts.push(trace);
     }
     let mut decoder = FrameDecoder::new();
     let mut decoded = Vec::new();
@@ -47,14 +57,18 @@ fn roundtrip<M: Wire>(rng: &mut Rng, messages: &[M], check: impl Fn(&M, &M)) {
         let end = (offset + chunk).min(stream.len());
         decoder.push(&stream[offset..end]);
         offset = end;
-        while let Some(payload) = decoder.next_frame().expect("stream is well-formed") {
-            decoded.push(from_bytes::<M>(&payload).expect("payload round-trips"));
+        while let Some(frame) = decoder.next_frame().expect("stream is well-formed") {
+            decoded.push(frame);
         }
     }
     assert_eq!(decoder.buffered(), 0, "trailing bytes after the last frame");
     assert_eq!(decoded.len(), messages.len());
-    for (original, copy) in messages.iter().zip(&decoded) {
-        check(original, copy);
+    for ((original, frame), trace) in messages.iter().zip(&decoded).zip(&contexts) {
+        check(
+            original,
+            &from_bytes::<M>(&frame.payload).expect("payload round-trips"),
+        );
+        assert_eq!(&frame.trace, trace, "trace context changed across the wire");
     }
 }
 
@@ -136,8 +150,50 @@ fn zero_and_empty_payloads_frame_cleanly() {
             _ => panic!("variant changed across the wire"),
         }
     });
-    // An empty frame really is header-only on the wire.
+    // An empty frame really is header-only on the wire, and attaching a
+    // trace context costs exactly its fixed encoding — the payload
+    // length word never includes it.
     let mut wire = Vec::new();
     encode_frame(&[], &mut wire).unwrap();
     assert_eq!(wire.len(), FRAME_HEADER);
+    wire.clear();
+    encode_frame_traced(&[], Some(&TraceContext::default()), &mut wire).unwrap();
+    assert_eq!(wire.len(), FRAME_HEADER + TraceContext::WIRE_SIZE);
+}
+
+/// Splits a traced frame at *every* byte boundary — including each of
+/// the 24 positions inside the trace context — and requires the decoder
+/// to reassemble the identical context every time.
+#[test]
+fn trace_context_survives_every_single_byte_boundary() {
+    let ctx = TraceContext {
+        session: 0x0123_4567_89AB_CDEF,
+        seq: u64::MAX,
+        t_ns: 0xFEDC_BA98_7654_3210,
+    };
+    let payload = to_bytes(&streaming::Label::Value(streaming::Value(-7)));
+    let mut wire = Vec::new();
+    encode_frame_traced(&payload, Some(&ctx), &mut wire).unwrap();
+    for split in 0..=wire.len() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire[..split]);
+        if split < wire.len() {
+            assert!(
+                decoder
+                    .next_frame()
+                    .expect("prefix is well-formed")
+                    .is_none(),
+                "frame completed {} byte(s) early",
+                wire.len() - split
+            );
+        }
+        decoder.push(&wire[split..]);
+        let frame = decoder
+            .next_frame()
+            .expect("stream is well-formed")
+            .expect("frame completes once every byte arrived");
+        assert_eq!(frame.trace, Some(ctx));
+        assert_eq!(frame.payload, payload);
+        assert_eq!(decoder.buffered(), 0);
+    }
 }

@@ -326,7 +326,7 @@ impl<T> Drop for Inner<T> {
 /// Construction parameters for an SPSC ring; the named constructors
 /// ([`spsc`], [`spsc_labelled`], [`spsc_bounded`]) cover the common
 /// shapes, [`spsc_with`] takes the full set.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct SpscConfig {
     /// Role names registering the link with the telemetry layer (ignored
     /// in uninstrumented builds).
@@ -339,6 +339,25 @@ pub struct SpscConfig {
     /// correct execution can reach): the quiescent-point shrink retires
     /// oversized buffers back toward it. Ignored in bounded mode.
     pub bound_hint: Option<usize>,
+    /// Publish a latency stamp at each slot commit (telemetry builds).
+    /// On by default; a transport link turns one side off where the ring
+    /// terminates in an I/O thread instead of a session future.
+    pub stamp_send: bool,
+    /// Consume a latency stamp at each pop (telemetry builds). On by
+    /// default, mirroring `stamp_send`.
+    pub stamp_recv: bool,
+}
+
+impl Default for SpscConfig {
+    fn default() -> Self {
+        SpscConfig {
+            label: None,
+            capacity: None,
+            bound_hint: None,
+            stamp_send: true,
+            stamp_recv: true,
+        }
+    }
 }
 
 /// Creates a lock-free SPSC channel. Neither endpoint is cloneable; use
@@ -372,7 +391,9 @@ pub fn spsc_bounded<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
 /// Creates an SPSC channel from the full [`SpscConfig`].
 pub fn spsc_with<T>(config: SpscConfig) -> (SpscSender<T>, SpscReceiver<T>) {
     let stats = match config.label {
-        Some((from, to)) => telemetry::channel::register(from, to),
+        Some((from, to)) => {
+            telemetry::channel::register(from, to).with_stamps(config.stamp_send, config.stamp_recv)
+        }
         None => telemetry::channel::LinkStats::default(),
     };
     let capacity = config.capacity.map(|c| c.max(1));
@@ -578,6 +599,12 @@ impl<T> SpscSender<T> {
     /// telemetry, and runs the Dekker handshake that wakes a parked
     /// consumer.
     fn commit(&mut self) {
+        if telemetry::ENABLED {
+            // Stamp before the tail publication: the matching receive
+            // cannot observe this message earlier, so it always finds
+            // the stamp already tagged.
+            self.inner.stats.stamp_send();
+        }
         self.tail += 1;
         self.inner.tail.store(self.tail, Release);
 
@@ -768,6 +795,9 @@ impl<T> SpscReceiver<T> {
         // Release: the slot read above must complete before the producer
         // can observe the new head and reuse the slot.
         self.inner.head.store(self.head, Release);
+        if telemetry::ENABLED {
+            self.inner.stats.stamp_recv();
+        }
         self.wake_producer();
         Some(value)
     }
@@ -798,6 +828,9 @@ impl<T> SpscReceiver<T> {
         // complete before the producer can observe the new head.
         self.inner.head.store(self.head, Release);
         self.inner.stats.record_batch(n as u64);
+        if telemetry::ENABLED {
+            self.inner.stats.stamp_recv_batch(n as u64);
+        }
         self.wake_producer();
         n
     }

@@ -34,12 +34,29 @@
 //!
 //! # Wire format
 //!
-//! Every frame is a `u32` little-endian payload length followed by the
-//! payload — a [`Wire`]-encoded label enum for data
-//! frames, a UTF-8 role name for the single handshake frame a dialing
-//! role sends first. Zero-length payloads are legal; lengths above
-//! [`MAX_FRAME`] are rejected without allocating (a corrupt or hostile
-//! peer must not abort the process).
+//! Every frame is a `u32` little-endian header followed by the payload
+//! — a [`Wire`]-encoded label enum for data frames, a UTF-8 role name
+//! for the handshake. The header's low 31 bits are the payload length;
+//! the top bit ([`FLAG_TRACE`]) marks an optional 24-byte
+//! [`TraceContext`] (session id, per-edge sequence, sender monotonic
+//! timestamp) between header and payload, attached to data frames when
+//! the sender runs with telemetry and always attached to handshake
+//! frames (the timestamps drive the clock-offset estimate). Zero-length
+//! payloads are legal; lengths above [`MAX_FRAME`] are rejected without
+//! allocating (a corrupt or hostile peer must not abort the process).
+//!
+//! # Handshake and clock offset
+//!
+//! A dialing role opens each link with a three-frame exchange: it sends
+//! its role name stamped with its clock `t1`, the accepter replies with
+//! an empty frame stamped `t2`, and the dialer — reading the reply at
+//! `t4` — estimates the accepter's clock as `t2 - (t1 + t4) / 2` ahead
+//! of its own (the NTP midpoint, assuming symmetric path delay) and
+//! sends the accepter the mirrored estimate in a final 8-byte frame.
+//! Both sides record the offset ([`telemetry::trace::set_peer_offset`])
+//! so `rumpsteak-trace --merge` can shift per-process timelines onto
+//! one clock, and the reader thread uses it to turn each traced frame's
+//! sender timestamp into a wire-latency sample.
 //!
 //! # Topology
 //!
@@ -56,6 +73,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -64,6 +82,7 @@ use executor::channel::{spsc_with, SendError, SpscConfig, SpscReceiver, SpscSend
 
 use crate::telemetry;
 use crate::transport::{Disconnected, Transport};
+pub use crate::wire::TraceContext;
 use crate::wire::{from_bytes, Wire};
 
 /// Largest accepted frame payload, in bytes. Frames above this are a
@@ -71,8 +90,23 @@ use crate::wire::{from_bytes, Wire};
 /// a hostile 4 GiB length prefix from becoming a 4 GiB allocation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// Bytes of frame header (the `u32` payload length).
+/// Bytes of frame header (the `u32` length-and-flags word).
 pub const FRAME_HEADER: usize = 4;
+
+/// Header bit marking a frame that carries a [`TraceContext`] between
+/// header and payload. The remaining 31 bits are the payload length,
+/// which [`MAX_FRAME`] keeps far below the flag bit.
+pub const FLAG_TRACE: u32 = 1 << 31;
+
+/// One decoded frame: the payload plus the sender's optional trace
+/// context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The payload bytes (a [`Wire`]-encoded message for data frames).
+    pub payload: Vec<u8>,
+    /// The sender's causal context, when the frame carried one.
+    pub trace: Option<TraceContext>,
+}
 
 /// Framing failure: the byte stream does not parse as frames.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,12 +133,29 @@ impl From<FrameError> for io::Error {
     }
 }
 
-/// Appends one frame (header + payload) to `out`.
+/// Appends one untraced frame (header + payload) to `out`.
 pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) -> Result<(), FrameError> {
+    encode_frame_traced(payload, None, out)
+}
+
+/// Appends one frame to `out`, embedding `trace` after the header when
+/// present (and setting [`FLAG_TRACE`]).
+pub fn encode_frame_traced(
+    payload: &[u8],
+    trace: Option<&TraceContext>,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
     if payload.len() > MAX_FRAME {
         return Err(FrameError::Oversized(payload.len() as u64));
     }
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut header = payload.len() as u32;
+    if trace.is_some() {
+        header |= FLAG_TRACE;
+    }
+    out.extend_from_slice(&header.to_le_bytes());
+    if let Some(ctx) = trace {
+        ctx.encode(out);
+    }
     out.extend_from_slice(payload);
     Ok(())
 }
@@ -135,11 +186,12 @@ impl FrameDecoder {
         self.buf.len()
     }
 
-    /// Extracts the next complete payload, `Ok(None)` when more bytes
-    /// are needed. A length prefix above [`MAX_FRAME`] is an error (and
-    /// is detected from the header alone, before any payload
-    /// accumulates).
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+    /// Extracts the next complete frame, `Ok(None)` when more bytes are
+    /// needed. A length above [`MAX_FRAME`] is an error (and is detected
+    /// from the header alone, before any payload accumulates) — that
+    /// check also rejects junk in the reserved flag bits, since only
+    /// [`FLAG_TRACE`] is masked off the length.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
         if self.buf.len() < FRAME_HEADER {
             return Ok(None);
         }
@@ -147,15 +199,25 @@ impl FrameDecoder {
         for (i, byte) in header.iter_mut().enumerate() {
             *byte = self.buf[i];
         }
-        let len = u32::from_le_bytes(header) as usize;
+        let word = u32::from_le_bytes(header);
+        let traced = word & FLAG_TRACE != 0;
+        let len = (word & !FLAG_TRACE) as usize;
         if len > MAX_FRAME {
             return Err(FrameError::Oversized(len as u64));
         }
-        if self.buf.len() < FRAME_HEADER + len {
+        let ctx_len = if traced { TraceContext::WIRE_SIZE } else { 0 };
+        if self.buf.len() < FRAME_HEADER + ctx_len + len {
             return Ok(None);
         }
         self.buf.drain(..FRAME_HEADER);
-        Ok(Some(self.buf.drain(..len).collect()))
+        let trace = traced.then(|| {
+            let bytes: Vec<u8> = self.buf.drain(..TraceContext::WIRE_SIZE).collect();
+            from_bytes::<TraceContext>(&bytes).expect("fixed-size context always decodes")
+        });
+        Ok(Some(Frame {
+            payload: self.buf.drain(..len).collect(),
+            trace,
+        }))
     }
 }
 
@@ -369,19 +431,24 @@ impl Listener {
 }
 
 /// Writes one frame synchronously (handshakes and the writer thread).
-fn write_frame(socket: &mut Socket, payload: &[u8], scratch: &mut Vec<u8>) -> io::Result<()> {
+fn write_frame(
+    socket: &mut Socket,
+    payload: &[u8],
+    trace: Option<&TraceContext>,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     scratch.clear();
-    encode_frame(payload, scratch)?;
+    encode_frame_traced(payload, trace, scratch)?;
     socket.write_all(scratch)
 }
 
 /// Reads whole frames synchronously until one is complete; leftover
 /// bytes stay in `decoder` for the next caller.
-fn read_frame(socket: &mut Socket, decoder: &mut FrameDecoder) -> io::Result<Vec<u8>> {
+fn read_frame(socket: &mut Socket, decoder: &mut FrameDecoder) -> io::Result<Frame> {
     let mut chunk = [0u8; 8192];
     loop {
-        if let Some(payload) = decoder.next_frame()? {
-            return Ok(payload);
+        if let Some(frame) = decoder.next_frame()? {
+            return Ok(frame);
         }
         match socket.read(&mut chunk) {
             Ok(0) => {
@@ -394,6 +461,15 @@ fn read_frame(socket: &mut Socket, decoder: &mut FrameDecoder) -> io::Result<Vec
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// A handshake timestamp context: only `t_ns` is meaningful.
+fn clock_ctx() -> TraceContext {
+    TraceContext {
+        session: 0,
+        seq: 0,
+        t_ns: telemetry::trace::now_ns(),
     }
 }
 
@@ -435,7 +511,15 @@ struct LinkSetup {
     /// Verified bound of the incoming direction (inbound cap and batch
     /// window).
     recv_bound: Option<usize>,
+    /// Handshake-estimated peer clock offset, `peer_clock - my_clock`
+    /// in nanoseconds (0 for loopback pairs sharing one clock).
+    peer_offset: i64,
 }
+
+/// Process-wide id source for [`TraceContext::session`]: each link gets
+/// a fresh id so merged timelines can tell apart reconnects of the same
+/// edge.
+static LINK_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 
 impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
     /// Wraps a connected socket. `residue` carries any bytes read past
@@ -447,6 +531,7 @@ impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
             to,
             send_bound,
             recv_bound,
+            peer_offset,
         } = setup;
         let stats = telemetry::transport::register(from, to);
         if let Some(k) = send_bound {
@@ -457,15 +542,27 @@ impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
         // The session-facing rings reuse the channel layer unchanged,
         // labels included, so the channel registry's watermark-vs-bound
         // check covers the distributed path too.
+        // Stamp only the session-facing side of each ring: the commit
+        // in a session future publishes the send stamp, the pop in a
+        // session future consumes the recv stamp, and the writer/reader
+        // threads' own ring operations stay stampless. On a loopback
+        // pair both rings share one registry cell per direction, so the
+        // surviving stamp pair measures the full send→recv path —
+        // socket included; across real processes the recv side misses
+        // safely and the frame trace context carries the wire latency.
         let (out_tx, out_rx) = spsc_with::<M>(SpscConfig {
             label: Some((from, to)),
             capacity: send_bound,
             bound_hint: send_bound,
+            stamp_send: true,
+            stamp_recv: false,
         });
         let (in_tx, in_rx) = spsc_with::<M>(SpscConfig {
             label: Some((to, from)),
             capacity: recv_bound,
             bound_hint: recv_bound,
+            stamp_send: false,
+            stamp_recv: true,
         });
         if telemetry::ENABLED {
             if let Some(k) = recv_bound {
@@ -476,6 +573,7 @@ impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
         let writer_socket = socket.try_clone()?;
         let reader_socket = socket.try_clone()?;
 
+        let session = LINK_SESSION_ID.fetch_add(1, Ordering::Relaxed);
         let writer_stats = stats.clone();
         let writer = std::thread::Builder::new()
             .name(format!("netlink-writer {from}->{to}"))
@@ -484,16 +582,34 @@ impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
                 let mut out_rx = out_rx;
                 let mut payload = Vec::new();
                 let mut scratch = Vec::new();
+                let mut seq = 0u64;
                 while let Some(message) = executor::block_on(out_rx.recv()) {
                     payload.clear();
                     message.encode(&mut payload);
-                    if write_frame(&mut socket, &payload, &mut scratch).is_err() {
+                    let trace = if telemetry::ENABLED {
+                        telemetry::trace::event_seq(
+                            telemetry::trace::Kind::FrameSend,
+                            from,
+                            to,
+                            "frame",
+                            seq,
+                        );
+                        Some(TraceContext {
+                            session,
+                            seq,
+                            t_ns: telemetry::trace::now_ns(),
+                        })
+                    } else {
+                        None
+                    };
+                    seq += 1;
+                    if write_frame(&mut socket, &payload, trace.as_ref(), &mut scratch).is_err() {
                         // The socket is gone; draining the ring keeps
                         // the producer unblocked until it sees the
                         // close below.
                         break;
                     }
-                    writer_stats.record_frame_sent((payload.len() + FRAME_HEADER) as u64);
+                    writer_stats.record_frame_sent(scratch.len() as u64);
                 }
                 // Flush-then-close: everything committed to the ring
                 // before the link was dropped is on the wire; the peer's
@@ -510,15 +626,40 @@ impl<M: Wire + std::marker::Send + 'static> NetLink<M> {
                 let mut chunk = [0u8; 8192];
                 'read: loop {
                     loop {
-                        let payload = match decoder.next_frame() {
-                            Ok(Some(payload)) => payload,
+                        let frame = match decoder.next_frame() {
+                            Ok(Some(frame)) => frame,
                             Ok(None) => break,
                             // Oversized frame: hostile or corrupt peer;
                             // drop the link, never panic.
                             Err(_) => break 'read,
                         };
-                        in_stats.record_frame_received((payload.len() + FRAME_HEADER) as u64);
-                        let message = match from_bytes::<M>(&payload) {
+                        let wire_bytes = frame.payload.len()
+                            + FRAME_HEADER
+                            + frame.trace.map_or(0, |_| TraceContext::WIRE_SIZE);
+                        in_stats.record_frame_received(wire_bytes as u64);
+                        if telemetry::ENABLED {
+                            if let Some(ctx) = frame.trace {
+                                // The frame travels the `to → from`
+                                // edge (the peer is the sender), which
+                                // is the key the sender's frame_send
+                                // event used.
+                                telemetry::trace::event_seq(
+                                    telemetry::trace::Kind::FrameRecv,
+                                    to,
+                                    from,
+                                    "frame",
+                                    ctx.seq,
+                                );
+                                // Shift the sender's encode timestamp
+                                // into this process's clock; skew the
+                                // estimate did not cover clamps to 0
+                                // rather than recording garbage.
+                                let sent_here = ctx.t_ns as i128 - peer_offset as i128;
+                                let latency = telemetry::trace::now_ns() as i128 - sent_here;
+                                in_stats.record_wire_latency(latency.max(0) as u64);
+                            }
+                        }
+                        let message = match from_bytes::<M>(&frame.payload) {
                             Ok(message) => message,
                             Err(_) => break 'read,
                         };
@@ -675,8 +816,8 @@ pub struct RemoteMesh<M> {
     listener: Option<Listener>,
     /// Inbound sockets that completed their handshake for a peer whose
     /// `link()` call has not happened yet, with any bytes read past the
-    /// handshake.
-    accepted: HashMap<String, (Socket, FrameDecoder)>,
+    /// handshake and the estimated peer clock offset.
+    accepted: HashMap<String, (Socket, FrameDecoder, i64)>,
     /// Verified k-MC bound per directed channel.
     bounds: HashMap<(&'static str, &'static str), usize>,
     /// How long `link()` keeps re-dialing a peer that is not yet
@@ -745,23 +886,29 @@ impl<M: Wire + std::marker::Send + 'static> RemoteMesh<M> {
                 format!("role `{peer}` is not in the topology"),
             )
         })?;
+        let (socket, residue, peer_offset) = if peer_index < my_index {
+            self.dial(peer)?
+        } else {
+            self.accept_from(peer)?
+        };
+        if telemetry::ENABLED {
+            telemetry::trace::set_peer_offset(peer, peer_offset);
+        }
         let setup = LinkSetup {
             from: me,
             to: peer,
             send_bound: self.bounds.get(&(me, peer)).copied(),
             recv_bound: self.bounds.get(&(peer, me)).copied(),
-        };
-        let (socket, residue) = if peer_index < my_index {
-            self.dial(peer)?
-        } else {
-            self.accept_from(peer)?
+            peer_offset,
         };
         NetLink::start(socket, setup, residue)
     }
 
-    /// Dials `peer`, retrying while its listener is not up yet; sends
-    /// the handshake frame naming `me`.
-    fn dial(&self, peer: &'static str) -> io::Result<(Socket, FrameDecoder)> {
+    /// Dials `peer`, retrying while its listener is not up yet; runs
+    /// the three-frame handshake (role name out, timestamped reply
+    /// back, mirrored offset estimate out) and returns the socket, any
+    /// bytes read past the reply, and the estimated peer clock offset.
+    fn dial(&self, peer: &'static str) -> io::Result<(Socket, FrameDecoder, i64)> {
         let addr = self
             .topology
             .addr_of(peer)
@@ -786,13 +933,40 @@ impl<M: Wire + std::marker::Send + 'static> RemoteMesh<M> {
             }
         };
         let mut scratch = Vec::new();
-        write_frame(&mut socket, self.me.as_bytes(), &mut scratch)?;
-        Ok((socket, FrameDecoder::new()))
+        let hello = clock_ctx();
+        write_frame(&mut socket, self.me.as_bytes(), Some(&hello), &mut scratch)?;
+        let mut decoder = FrameDecoder::new();
+        let reply = read_frame(&mut socket, &mut decoder)?;
+        let t4 = telemetry::trace::now_ns();
+        let t2 = reply
+            .trace
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "handshake reply carries no timestamp",
+                )
+            })?
+            .t_ns;
+        // NTP midpoint: assuming a symmetric path, the accepter stamped
+        // t2 when our clock read (t1 + t4) / 2.
+        let midpoint = (hello.t_ns as i128 + t4 as i128) / 2;
+        let peer_offset = (t2 as i128 - midpoint) as i64;
+        // Hand the accepter its own view (our clock minus its clock).
+        write_frame(
+            &mut socket,
+            &(-peer_offset).to_le_bytes(),
+            None,
+            &mut scratch,
+        )?;
+        Ok((socket, decoder, peer_offset))
     }
 
     /// Accepts connections until `peer`'s handshake arrives, stashing
-    /// handshaked sockets for other peers along the way.
-    fn accept_from(&mut self, peer: &str) -> io::Result<(Socket, FrameDecoder)> {
+    /// handshaked sockets for other peers along the way. Completes the
+    /// accept side of the clock handshake on every connection: reply
+    /// with the local clock, then read back the dialer's offset
+    /// estimate.
+    fn accept_from(&mut self, peer: &str) -> io::Result<(Socket, FrameDecoder, i64)> {
         if let Some(ready) = self.accepted.remove(peer) {
             return Ok(ready);
         }
@@ -803,13 +977,20 @@ impl<M: Wire + std::marker::Send + 'static> RemoteMesh<M> {
             let mut socket = listener.accept()?;
             let mut decoder = FrameDecoder::new();
             let handshake = read_frame(&mut socket, &mut decoder)?;
-            let name = String::from_utf8(handshake).map_err(|_| {
+            let name = String::from_utf8(handshake.payload).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, "handshake is not a role name")
             })?;
+            let mut scratch = Vec::new();
+            write_frame(&mut socket, b"", Some(&clock_ctx()), &mut scratch)?;
+            let offset_frame = read_frame(&mut socket, &mut decoder)?;
+            let bytes: [u8; 8] = offset_frame.payload.as_slice().try_into().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "offset frame is not 8 bytes")
+            })?;
+            let peer_offset = i64::from_le_bytes(bytes);
             if name == peer {
-                return Ok((socket, decoder));
+                return Ok((socket, decoder, peer_offset));
             }
-            self.accepted.insert(name, (socket, decoder));
+            self.accepted.insert(name, (socket, decoder, peer_offset));
         }
     }
 }
@@ -884,6 +1065,7 @@ fn loopback_pair<M: Wire + std::marker::Send + 'static>(
             to: b,
             send_bound: bound_ab,
             recv_bound: bound_ba,
+            peer_offset: 0,
         },
         FrameDecoder::new(),
     )?;
@@ -894,6 +1076,7 @@ fn loopback_pair<M: Wire + std::marker::Send + 'static>(
             to: a,
             send_bound: bound_ba,
             recv_bound: bound_ab,
+            peer_offset: 0,
         },
         FrameDecoder::new(),
     )?;
@@ -912,10 +1095,68 @@ mod tests {
         encode_frame(b"d", &mut out).unwrap();
         let mut decoder = FrameDecoder::new();
         decoder.push(&out);
-        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"abc"[..]));
-        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b""[..]));
-        assert_eq!(decoder.next_frame().unwrap().as_deref(), Some(&b"d"[..]));
+        let payload = |frame: Option<Frame>| frame.map(|f| f.payload);
+        assert_eq!(
+            payload(decoder.next_frame().unwrap()).as_deref(),
+            Some(&b"abc"[..])
+        );
+        assert_eq!(
+            payload(decoder.next_frame().unwrap()).as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(
+            payload(decoder.next_frame().unwrap()).as_deref(),
+            Some(&b"d"[..])
+        );
         assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_at_any_chunk_boundary() {
+        // A traced frame between untraced ones, reassembled for every
+        // chunk size — splits land mid-header, mid-context and
+        // mid-payload.
+        let ctx = TraceContext {
+            session: 7,
+            seq: 99,
+            t_ns: 123_456_789,
+        };
+        let mut wire = Vec::new();
+        encode_frame(b"before", &mut wire).unwrap();
+        encode_frame_traced(b"traced payload", Some(&ctx), &mut wire).unwrap();
+        encode_frame_traced(b"", Some(&ctx), &mut wire).unwrap();
+        encode_frame(b"after", &mut wire).unwrap();
+        for chunk in 1..wire.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                decoder.push(piece);
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(frames.len(), 4, "chunk size {chunk}");
+            assert_eq!(frames[0].payload, b"before");
+            assert_eq!(frames[0].trace, None);
+            assert_eq!(frames[1].payload, b"traced payload");
+            assert_eq!(frames[1].trace, Some(ctx));
+            assert_eq!(frames[2].payload, b"");
+            assert_eq!(frames[2].trace, Some(ctx));
+            assert_eq!(frames[3].payload, b"after");
+            assert_eq!(frames[3].trace, None);
+        }
+    }
+
+    #[test]
+    fn junk_flag_bits_are_rejected_as_oversized() {
+        // Bits 24..31 set without FLAG_TRACE make the masked length
+        // exceed MAX_FRAME — the decoder must error, not allocate.
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&(0x7F00_0000u32).to_le_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FrameError::Oversized(_))
+        ));
     }
 
     #[test]
@@ -932,7 +1173,7 @@ mod tests {
             for piece in wire.chunks(chunk) {
                 decoder.push(piece);
                 while let Some(frame) = decoder.next_frame().unwrap() {
-                    frames.push(frame);
+                    frames.push(frame.payload);
                 }
             }
             assert_eq!(frames.len(), 3, "chunk size {chunk}");

@@ -440,9 +440,22 @@ where
     F: FnOnce(S) -> Fut,
     Fut: Future<Output = Result<(T, End<'q, Q>)>>,
 {
+    let started = if telemetry::ENABLED {
+        telemetry::trace::now_ns()
+    } else {
+        0
+    };
     let session = S::from_state(State::new(role));
     let (output, end) = f(session).await?;
     end.finish();
+    if telemetry::ENABLED {
+        // Spawn→teardown lifetime of one completed session run, keyed
+        // by the role that drove it.
+        telemetry::hist::record_session(
+            Q::name(),
+            telemetry::trace::now_ns().saturating_sub(started),
+        );
+    }
     Ok(output)
 }
 

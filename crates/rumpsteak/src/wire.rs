@@ -218,6 +218,46 @@ impl Wire for String {
     }
 }
 
+/// Causal trace context attached to a wire frame when the sender runs
+/// with telemetry enabled: a per-process session id, a per-edge frame
+/// sequence number, and the sender's monotonic clock at encode time.
+///
+/// Fixed 24-byte encoding (three little-endian `u64`s) so the framing
+/// layer can reserve space for it without consulting the payload. The
+/// receiver uses `seq` to pair its `frame_recv` trace event with the
+/// sender's `frame_send` (the flow edges `rumpsteak-trace --merge`
+/// draws) and `t_ns` — shifted by the handshake-estimated clock offset
+/// — to record wire latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Sender-process session identifier (one per `NetLink`).
+    pub session: u64,
+    /// Frame index on this directed edge, starting at 0.
+    pub seq: u64,
+    /// Sender's monotonic clock at frame encode, in nanoseconds.
+    pub t_ns: u64,
+}
+
+impl TraceContext {
+    /// Encoded size in bytes: three `u64` words.
+    pub const WIRE_SIZE: usize = 24;
+}
+
+impl Wire for TraceContext {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.session.encode(out);
+        self.seq.encode(out);
+        self.t_ns.encode(out);
+    }
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TraceContext {
+            session: u64::decode(reader)?,
+            seq: u64::decode(reader)?,
+            t_ns: u64::decode(reader)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +327,19 @@ mod tests {
             from_bytes::<String>(&bytes),
             Err(WireError::LengthOverflow(_))
         ));
+    }
+
+    #[test]
+    fn trace_context_is_fixed_size_and_round_trips() {
+        let ctx = TraceContext {
+            session: 0xfeed_beef_dead_cafe,
+            seq: 42,
+            t_ns: u64::MAX,
+        };
+        let bytes = to_bytes(&ctx);
+        assert_eq!(bytes.len(), TraceContext::WIRE_SIZE);
+        assert_eq!(from_bytes::<TraceContext>(&bytes).unwrap(), ctx);
+        round_trip(TraceContext::default());
     }
 
     #[test]

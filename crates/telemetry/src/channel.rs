@@ -31,7 +31,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 #[cfg(feature = "telemetry")]
+use crate::hist::Histogram;
+use crate::hist::HistogramSnapshot;
+#[cfg(feature = "telemetry")]
 use crate::Counter;
+
+/// Slots in a link's latency stamp ring. A power of two so indexing is
+/// a mask; deep enough that a stamp is only overwritten after 1024
+/// further sends — far beyond any verified k-MC bound — so the seqlock
+/// tag check below almost never misses on an in-process link.
+#[cfg(feature = "telemetry")]
+const STAMP_SLOTS: usize = 1024;
+
+/// One stamp: the send-side monotonic time `t`, published under a
+/// sequence `tag` (send index + 1) with release ordering so a reader
+/// that observes the tag also observes the time.
+#[cfg(feature = "telemetry")]
+struct StampSlot {
+    tag: AtomicU64,
+    t: AtomicU64,
+}
 
 /// Shared statistics cell for one directed link `from → to`.
 #[cfg(feature = "telemetry")]
@@ -69,6 +88,17 @@ struct LinkCell {
     bound: AtomicU64,
     /// Batch-receive window the link runs with; 0 = not registered.
     batch_window: AtomicU64,
+    /// Send→recv latency histogram fed by the stamp ring.
+    latency: Histogram,
+    /// Monotone index of the next send stamp.
+    stamp_send_seq: AtomicU64,
+    /// Monotone index of the next recv stamp read.
+    stamp_recv_seq: AtomicU64,
+    /// Recv stamps whose slot had been overwritten (or whose sender ran
+    /// in another process) — counted, never recorded as a latency.
+    stamp_misses: Counter,
+    /// The stamp ring itself.
+    stamps: Box<[StampSlot]>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -104,6 +134,16 @@ fn cell(from: &'static str, to: &'static str) -> Arc<LinkCell> {
                 instances: Counter::new(),
                 bound: AtomicU64::new(0),
                 batch_window: AtomicU64::new(0),
+                latency: Histogram::new(),
+                stamp_send_seq: AtomicU64::new(0),
+                stamp_recv_seq: AtomicU64::new(0),
+                stamp_misses: Counter::new(),
+                stamps: (0..STAMP_SLOTS)
+                    .map(|_| StampSlot {
+                        tag: AtomicU64::new(0),
+                        t: AtomicU64::new(0),
+                    })
+                    .collect(),
             })
         })
         .clone()
@@ -118,6 +158,10 @@ fn cell(from: &'static str, to: &'static str) -> Arc<LinkCell> {
 pub struct LinkStats {
     #[cfg(feature = "telemetry")]
     cell: Option<Arc<LinkCell>>,
+    #[cfg(feature = "telemetry")]
+    stamp_send: bool,
+    #[cfg(feature = "telemetry")]
+    stamp_recv: bool,
 }
 
 /// Expands to a no-op recorder in disabled builds and a guarded
@@ -216,6 +260,82 @@ impl LinkStats {
         #[cfg(not(feature = "telemetry"))]
         let _ = n;
     }
+
+    /// Returns this handle with its stamp sides reconfigured. Both sides
+    /// default to on; a transport link disables the side whose ring
+    /// terminates in an I/O thread rather than a session future, so the
+    /// wire segment is measured by the frame trace context instead of
+    /// double-counted here.
+    #[must_use]
+    pub fn with_stamps(self, send: bool, recv: bool) -> Self {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut this = self;
+            this.stamp_send = send;
+            this.stamp_recv = recv;
+            this
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (send, recv);
+            self
+        }
+    }
+
+    /// Publishes a send timestamp into the link's stamp ring. Called at
+    /// slot commit, *before* the tail release store, so the matching
+    /// receive — which cannot observe the message earlier — finds the
+    /// stamp already tagged.
+    #[inline]
+    pub fn stamp_send(&self) {
+        #[cfg(feature = "telemetry")]
+        if self.stamp_send {
+            if let Some(cell) = &self.cell {
+                let index = cell.stamp_send_seq.fetch_add(1, Ordering::Relaxed);
+                let slot = &cell.stamps[index as usize & (STAMP_SLOTS - 1)];
+                slot.t.store(crate::trace::now_ns(), Ordering::Relaxed);
+                slot.tag.store(index + 1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Consumes the next recv stamp and records `now - send_time` into
+    /// the link's latency histogram. Seqlock-validated: if the slot's
+    /// tag does not match this receive's index (ring overwritten, or the
+    /// sender lives in another process and never stamped), the read is a
+    /// counted miss, never a bogus latency.
+    #[inline]
+    pub fn stamp_recv(&self) {
+        #[cfg(feature = "telemetry")]
+        if self.stamp_recv {
+            if let Some(cell) = &self.cell {
+                let index = cell.stamp_recv_seq.fetch_add(1, Ordering::Relaxed);
+                let slot = &cell.stamps[index as usize & (STAMP_SLOTS - 1)];
+                if slot.tag.load(Ordering::Acquire) == index + 1 {
+                    let t = slot.t.load(Ordering::Relaxed);
+                    // Revalidate: a racing sender lapping the ring would
+                    // have bumped the tag past ours.
+                    if slot.tag.load(Ordering::Acquire) == index + 1 {
+                        cell.latency
+                            .record(crate::trace::now_ns().saturating_sub(t));
+                        return;
+                    }
+                }
+                cell.stamp_misses.incr();
+            }
+        }
+    }
+
+    /// Consumes `n` recv stamps (a batch drain observed at one instant).
+    #[inline]
+    pub fn stamp_recv_batch(&self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        for _ in 0..n {
+            self.stamp_recv();
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+    }
 }
 
 /// Registers (or re-attaches to) the directed link `from → to` and
@@ -225,7 +345,11 @@ pub fn register(from: &'static str, to: &'static str) -> LinkStats {
     {
         let cell = cell(from, to);
         cell.instances.incr();
-        LinkStats { cell: Some(cell) }
+        LinkStats {
+            cell: Some(cell),
+            stamp_send: true,
+            stamp_recv: true,
+        }
     }
     #[cfg(not(feature = "telemetry"))]
     {
@@ -243,6 +367,8 @@ pub fn attach(from: &'static str, to: &'static str) -> LinkStats {
     {
         LinkStats {
             cell: Some(cell(from, to)),
+            stamp_send: true,
+            stamp_recv: true,
         }
     }
     #[cfg(not(feature = "telemetry"))]
@@ -320,6 +446,10 @@ pub struct LinkSnapshot {
     pub kmc_bound: Option<u64>,
     /// Registered batch-receive window, if any.
     pub batch_window: Option<u64>,
+    /// Send→recv latency distribution (empty when no stamp pair landed).
+    pub latency: HistogramSnapshot,
+    /// Recv stamps that failed seqlock validation.
+    pub stamp_misses: u64,
 }
 
 impl LinkSnapshot {
@@ -376,6 +506,8 @@ pub fn snapshot() -> Vec<LinkSnapshot> {
                     instances: cell.instances.get(),
                     kmc_bound: (bound > 0).then_some(bound),
                     batch_window: (batch_window > 0).then_some(batch_window),
+                    latency: cell.latency.snapshot(),
+                    stamp_misses: cell.stamp_misses.get(),
                 }
             })
             .collect();
@@ -494,6 +626,63 @@ mod tests {
     }
 
     #[test]
+    fn stamp_pairs_record_latency() {
+        reset();
+        let stats = register("StampA", "StampB");
+        for _ in 0..100 {
+            stats.stamp_send();
+            stats.stamp_recv();
+        }
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links.iter().find(|l| l.from == "StampA").unwrap();
+            assert_eq!(link.latency.count, 100);
+            assert_eq!(link.stamp_misses, 0);
+            assert!(link.latency.p50() <= link.latency.max);
+        } else {
+            assert!(links.is_empty());
+        }
+        reset();
+    }
+
+    #[test]
+    fn unmatched_recv_stamps_miss_safely() {
+        reset();
+        // Receiver side of a cross-process link: sends never stamped
+        // locally, so every recv stamp must miss, not fabricate data.
+        let stats = register("MissA", "MissB").with_stamps(false, true);
+        stats.stamp_recv_batch(5);
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links.iter().find(|l| l.from == "MissA").unwrap();
+            assert!(link.latency.is_empty());
+            assert_eq!(link.stamp_misses, 5);
+        }
+        reset();
+    }
+
+    #[test]
+    fn lapped_stamp_ring_misses_instead_of_lying() {
+        reset();
+        let stats = register("LapA", "LapB");
+        // Send far past the ring capacity without consuming: the first
+        // 1024 recv indices find slots overwritten by later sends.
+        for _ in 0..(1024 + 64) {
+            stats.stamp_send();
+        }
+        for _ in 0..64 {
+            stats.stamp_recv();
+        }
+        let links = snapshot();
+        if crate::ENABLED {
+            let link = links.iter().find(|l| l.from == "LapA").unwrap();
+            assert_eq!(link.latency.count + link.stamp_misses, 64);
+            assert_eq!(link.stamp_misses, 64, "lapped slots must not match");
+        }
+        reset();
+    }
+
+    #[test]
     fn unlabelled_stats_are_inert() {
         let stats = LinkStats::default();
         stats.record_depth(1000);
@@ -506,6 +695,9 @@ mod tests {
         stats.record_pool_hit();
         stats.record_pool_miss();
         stats.record_backpressure_park();
+        stats.stamp_send();
+        stats.stamp_recv();
+        stats.stamp_recv_batch(3);
         // No panic, nothing registered.
     }
 }

@@ -21,9 +21,19 @@
 //!   registry of each remote link's send window and the k-MC bound it
 //!   was sized from.
 //! * [`trace`] — per-thread bounded lock-free event rings recording
-//!   `(role, peer, label, t_ns)` for every session Send/Receive/Select/
-//!   Branch, drop-oldest with a drop counter, dumpable as Chrome
-//!   trace-event JSON (`chrome://tracing` / Perfetto).
+//!   `(role, peer, label, t_ns, seq)` for every session Send/Receive/
+//!   Select/Branch and every wire frame, drop-oldest with a drop
+//!   counter, dumpable as Chrome trace-event JSON (`chrome://tracing` /
+//!   Perfetto) — and, per process, as a text dump that
+//!   [`trace::merge_chrome_trace`] stitches across processes with flow
+//!   events connecting each frame send to its receive.
+//! * [`hist`] — lock-free log-linear (HDR-style) latency histograms
+//!   with exact-reference-tested quantiles, recording per-link
+//!   send→recv latency (via [`channel`]/[`transport`]) and session
+//!   spawn→teardown lifetimes.
+//! * [`serve`] — a dependency-free HTTP/1.0 metrics endpoint exposing
+//!   every registry above in Prometheus-style text exposition,
+//!   scrapeable mid-run.
 //!
 //! # Feature gating
 //!
@@ -34,7 +44,9 @@
 //! [`ENABLED`] only where avoiding an argument computation matters.
 
 pub mod channel;
+pub mod hist;
 pub mod scheduler;
+pub mod serve;
 pub mod trace;
 pub mod transport;
 

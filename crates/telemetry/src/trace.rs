@@ -20,6 +20,18 @@
 //! [`drain`] collects all rings into [`ThreadTrace`]s and
 //! [`chrome_trace_json`] renders them in the Chrome trace-event format
 //! accepted by `chrome://tracing` and Perfetto.
+//!
+//! # Cross-process stitching
+//!
+//! Traces die at the process boundary unless the wire carries causality
+//! with them: the transport records a [`Kind::FrameSend`] /
+//! [`Kind::FrameRecv`] pair (keyed by the frame's per-edge sequence
+//! number) on the two sides of every socket, and the accept handshake
+//! estimates each peer's clock offset ([`set_peer_offset`]). A process
+//! writes everything as a line-oriented text dump ([`dump_text`]);
+//! `rumpsteak-trace --merge` parses the dumps ([`parse_dump`]) and
+//! [`merge_chrome_trace`] aligns their clocks and emits one timeline
+//! with Chrome *flow events* connecting each send to its receive.
 
 #[cfg(feature = "telemetry")]
 use std::sync::atomic::{fence, AtomicU64, Ordering};
@@ -30,7 +42,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// once a thread exceeds this many undrained events.
 pub const RING_CAPACITY: usize = 8192;
 
-/// The four session operations that emit trace events.
+/// The session and transport operations that emit trace events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Kind {
     /// A message was enqueued (`Send` resolved).
@@ -41,6 +53,10 @@ pub enum Kind {
     Select,
     /// An external choice was received (`Branch` resolved).
     Branch,
+    /// A wire frame was written to the socket (writer thread).
+    FrameSend,
+    /// A wire frame was decoded off the socket (reader thread).
+    FrameRecv,
 }
 
 impl Kind {
@@ -51,7 +67,22 @@ impl Kind {
             Kind::Receive => "receive",
             Kind::Select => "select",
             Kind::Branch => "branch",
+            Kind::FrameSend => "frame_send",
+            Kind::FrameRecv => "frame_recv",
         }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str) (dump parsing).
+    pub fn parse(name: &str) -> Option<Kind> {
+        Some(match name {
+            "send" => Kind::Send,
+            "receive" => Kind::Receive,
+            "select" => Kind::Select,
+            "branch" => Kind::Branch,
+            "frame_send" => Kind::FrameSend,
+            "frame_recv" => Kind::FrameRecv,
+            _ => return None,
+        })
     }
 
     #[cfg(feature = "telemetry")]
@@ -60,6 +91,8 @@ impl Kind {
             0 => Kind::Send,
             1 => Kind::Receive,
             2 => Kind::Select,
+            4 => Kind::FrameSend,
+            5 => Kind::FrameRecv,
             _ => Kind::Branch,
         }
     }
@@ -71,6 +104,8 @@ impl Kind {
             Kind::Receive => 1,
             Kind::Select => 2,
             Kind::Branch => 3,
+            Kind::FrameSend => 4,
+            Kind::FrameRecv => 5,
         }
     }
 }
@@ -89,6 +124,10 @@ pub struct TraceEvent {
     pub peer: &'static str,
     /// Message or choice label.
     pub label: &'static str,
+    /// Per-edge frame sequence number for [`Kind::FrameSend`] /
+    /// [`Kind::FrameRecv`] (the cross-process matching key); 0 for
+    /// session-level events.
+    pub seq: u64,
 }
 
 /// All events drained from one thread's ring, oldest first.
@@ -119,10 +158,57 @@ pub fn now_ns() -> u64 {
 /// to nothing without the `telemetry` feature.
 #[inline]
 pub fn event(kind: Kind, role: &'static str, peer: &'static str, label: &'static str) {
+    event_seq(kind, role, peer, label, 0);
+}
+
+/// [`event`] carrying a per-edge sequence number — the transport's
+/// frame events use the sequence as the cross-process matching key.
+#[inline]
+pub fn event_seq(
+    kind: Kind,
+    role: &'static str,
+    peer: &'static str,
+    label: &'static str,
+    seq: u64,
+) {
     #[cfg(feature = "telemetry")]
-    enabled::event(kind, role, peer, label);
+    enabled::event(kind, role, peer, label, seq);
     #[cfg(not(feature = "telemetry"))]
-    let _ = (kind, role, peer, label);
+    let _ = (kind, role, peer, label, seq);
+}
+
+/// Registers the estimated clock offset of `peer`'s trace epoch
+/// relative to this process (`peer_clock - local_clock`, nanoseconds),
+/// as measured by the transport's accept handshake. Dumped with the
+/// process trace so [`merge_chrome_trace`] can align timelines.
+pub fn set_peer_offset(peer: &str, offset_ns: i64) {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut offsets = peer_offset_table().lock().expect("offset table poisoned");
+        match offsets.iter_mut().find(|(name, _)| name == peer) {
+            Some((_, off)) => *off = offset_ns,
+            None => offsets.push((peer.to_owned(), offset_ns)),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (peer, offset_ns);
+}
+
+/// The registered per-peer clock offsets. Empty in disabled builds.
+pub fn peer_offsets() -> Vec<(String, i64)> {
+    #[cfg(feature = "telemetry")]
+    return peer_offset_table()
+        .lock()
+        .expect("offset table poisoned")
+        .clone();
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+#[cfg(feature = "telemetry")]
+fn peer_offset_table() -> &'static Mutex<Vec<(String, i64)>> {
+    static TABLE: OnceLock<Mutex<Vec<(String, i64)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// Drains every thread ring into per-thread traces (oldest first),
@@ -159,8 +245,8 @@ pub fn chrome_trace_json(traces: &[ThreadTrace]) -> String {
                 "{} {} {}",
                 event.role,
                 match event.kind {
-                    Kind::Send | Kind::Select => "->",
-                    Kind::Receive | Kind::Branch => "<-",
+                    Kind::Send | Kind::Select | Kind::FrameSend => "->",
+                    Kind::Receive | Kind::Branch | Kind::FrameRecv => "<-",
                 },
                 event.peer
             );
@@ -177,11 +263,423 @@ pub fn chrome_trace_json(traces: &[ThreadTrace]) -> String {
             push_json_string(&mut out, event.label);
             out.push_str(",\"peer\":");
             push_json_string(&mut out, event.peer);
+            out.push_str(",\"seq\":");
+            out.push_str(&event.seq.to_string());
             out.push_str("}}");
         }
     }
     out.push_str("]}");
     out
+}
+
+// ---- per-process dumps and cross-process merging --------------------
+
+/// One process's complete trace state: its per-thread event rings plus
+/// the clock offsets its transport handshakes measured for each peer.
+#[derive(Clone, Debug)]
+pub struct ProcessDump {
+    /// Process identity — the role name for generated distributed
+    /// skeletons (one role per process).
+    pub process: String,
+    /// `(peer, peer_clock - local_clock)` nanosecond offsets.
+    pub peer_offsets: Vec<(String, i64)>,
+    /// Drained per-thread traces.
+    pub traces: Vec<ThreadTrace>,
+}
+
+/// Drains this process's rings and renders them (with the registered
+/// peer offsets) as the line-oriented text dump `rumpsteak-trace
+/// --merge` consumes. Safe to call in disabled builds (header only).
+pub fn dump_text(process: &str) -> String {
+    render_dump(&ProcessDump {
+        process: process.to_owned(),
+        peer_offsets: peer_offsets(),
+        traces: drain(),
+    })
+}
+
+/// Renders a [`ProcessDump`] in the text dump format: tab-separated
+/// `process` / `offset` / `thread` / `dropped` / `event` records under
+/// a versioned header. Event fields are `t_ns kind seq role peer
+/// label`; role, peer and label come from type names and never contain
+/// tabs or newlines.
+pub fn render_dump(dump: &ProcessDump) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("rumpsteak-trace-dump v1\n");
+    let _ = writeln!(out, "process\t{}", dump.process);
+    for (peer, offset) in &dump.peer_offsets {
+        let _ = writeln!(out, "offset\t{peer}\t{offset}");
+    }
+    for trace in &dump.traces {
+        let _ = writeln!(out, "thread\t{}", trace.thread);
+        if trace.dropped > 0 {
+            let _ = writeln!(out, "dropped\t{}", trace.dropped);
+        }
+        for event in &trace.events {
+            let _ = writeln!(
+                out,
+                "event\t{}\t{}\t{}\t{}\t{}\t{}",
+                event.t_ns,
+                event.kind.as_str(),
+                event.seq,
+                event.role,
+                event.peer,
+                event.label,
+            );
+        }
+    }
+    out
+}
+
+/// Parses a text dump produced by [`dump_text`] / [`render_dump`].
+///
+/// Role/peer/label strings are interned by leaking (the merge tool is a
+/// short-lived offline process; leaked bytes are bounded by dump size),
+/// which keeps [`TraceEvent`]'s `&'static str` shape identical for live
+/// and parsed events.
+pub fn parse_dump(text: &str) -> Result<ProcessDump, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "rumpsteak-trace-dump v1")) => {}
+        other => {
+            return Err(format!(
+                "not a rumpsteak trace dump (header line: {:?})",
+                other.map(|(_, line)| line)
+            ))
+        }
+    }
+    let intern = |s: &str| -> &'static str { Box::leak(s.to_owned().into_boxed_str()) };
+    let mut process = String::new();
+    let mut peer_offsets = Vec::new();
+    let mut traces: Vec<ThreadTrace> = Vec::new();
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().unwrap_or("");
+        let context = |what: &str| format!("dump line {}: {what}", lineno + 1);
+        match tag {
+            "process" => {
+                process = fields
+                    .next()
+                    .ok_or_else(|| context("missing name"))?
+                    .to_owned();
+            }
+            "offset" => {
+                let peer = fields.next().ok_or_else(|| context("missing peer"))?;
+                let offset: i64 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| context("bad offset"))?;
+                peer_offsets.push((peer.to_owned(), offset));
+            }
+            "thread" => {
+                traces.push(ThreadTrace {
+                    thread: fields.next().unwrap_or("").to_owned(),
+                    events: Vec::new(),
+                    dropped: 0,
+                });
+            }
+            "dropped" => {
+                let dropped: u64 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| context("bad dropped count"))?;
+                traces
+                    .last_mut()
+                    .ok_or_else(|| context("dropped before thread"))?
+                    .dropped = dropped;
+            }
+            "event" => {
+                let t_ns: u64 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| context("bad timestamp"))?;
+                let kind = fields
+                    .next()
+                    .and_then(Kind::parse)
+                    .ok_or_else(|| context("bad kind"))?;
+                let seq: u64 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| context("bad seq"))?;
+                let role = fields.next().ok_or_else(|| context("missing role"))?;
+                let peer = fields.next().ok_or_else(|| context("missing peer"))?;
+                let label = fields.next().ok_or_else(|| context("missing label"))?;
+                traces
+                    .last_mut()
+                    .ok_or_else(|| context("event before thread"))?
+                    .events
+                    .push(TraceEvent {
+                        t_ns,
+                        kind,
+                        role: intern(role),
+                        peer: intern(peer),
+                        label: intern(label),
+                        seq,
+                    });
+            }
+            other => return Err(context(&format!("unknown record `{other}`"))),
+        }
+    }
+    if process.is_empty() {
+        return Err("dump has no process record".to_owned());
+    }
+    Ok(ProcessDump {
+        process,
+        peer_offsets,
+        traces,
+    })
+}
+
+/// Per-edge frame-flow accounting from a merge: how many frame sends
+/// and receives each directed edge contributed, and how many were
+/// matched into flow events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeFlows {
+    /// Sending role.
+    pub from: String,
+    /// Receiving role.
+    pub to: String,
+    /// `frame_send` events seen for the edge.
+    pub sends: u64,
+    /// `frame_recv` events seen for the edge.
+    pub recvs: u64,
+    /// Send/receive pairs matched into flow events.
+    pub matched: u64,
+}
+
+/// Summary returned beside the merged timeline JSON.
+#[derive(Clone, Debug, Default)]
+pub struct MergeReport {
+    /// Flow events emitted (matched send→recv pairs).
+    pub flows: u64,
+    /// Per directed edge accounting, sorted by `(from, to)`.
+    pub edges: Vec<EdgeFlows>,
+}
+
+/// Stitches per-process dumps into one Chrome trace-event timeline.
+///
+/// The first dump is the reference clock; every other dump's
+/// timestamps are shifted by the handshake-measured offset (looked up
+/// in the reference's table, or the negated inverse in the dump's
+/// own). Each process becomes a `pid` lane with its threads as `tid`s;
+/// every `frame_send` is connected to the `frame_recv` with the same
+/// `(from, to, seq)` key by a Chrome flow event (`ph:"s"` → `ph:"f"`),
+/// which Perfetto draws as an arrow across the process lanes.
+pub fn merge_chrome_trace(dumps: &[ProcessDump]) -> (String, MergeReport) {
+    use std::collections::BTreeMap;
+
+    // Clock shift per dump, into the reference (first) dump's epoch.
+    let shifts: Vec<i64> = dumps
+        .iter()
+        .enumerate()
+        .map(|(index, dump)| {
+            if index == 0 {
+                return 0;
+            }
+            if let Some((_, offset)) = dumps[0]
+                .peer_offsets
+                .iter()
+                .find(|(peer, _)| *peer == dump.process)
+            {
+                // offset = dump_clock - ref_clock.
+                return -offset;
+            }
+            if let Some((_, offset)) = dump
+                .peer_offsets
+                .iter()
+                .find(|(peer, _)| *peer == dumps[0].process)
+            {
+                // offset = ref_clock - dump_clock.
+                return *offset;
+            }
+            0
+        })
+        .collect();
+
+    // Flatten with shifted timestamps; normalise so the earliest event
+    // sits at t = 0 (Chrome dislikes negative timestamps).
+    struct Placed {
+        pid: usize,
+        tid: usize,
+        ts_ns: i64,
+        event: TraceEvent,
+    }
+    let mut placed: Vec<Placed> = Vec::new();
+    for (index, dump) in dumps.iter().enumerate() {
+        for (tid, trace) in dump.traces.iter().enumerate() {
+            for event in &trace.events {
+                placed.push(Placed {
+                    pid: index + 1,
+                    tid,
+                    ts_ns: event.t_ns as i64 + shifts[index],
+                    event: *event,
+                });
+            }
+        }
+    }
+    let base = placed.iter().map(|p| p.ts_ns).min().unwrap_or(0);
+    for p in &mut placed {
+        p.ts_ns -= base;
+    }
+
+    // Frame flow matching on (from, to, seq), in timestamp order per key.
+    type FlowKey = (&'static str, &'static str, u64);
+    let mut sends: BTreeMap<FlowKey, Vec<usize>> = BTreeMap::new();
+    let mut recvs: BTreeMap<FlowKey, Vec<usize>> = BTreeMap::new();
+    for (index, p) in placed.iter().enumerate() {
+        if p.event.seq == 0 {
+            continue;
+        }
+        let key = (p.event.role, p.event.peer, p.event.seq);
+        match p.event.kind {
+            Kind::FrameSend => sends.entry(key).or_default().push(index),
+            Kind::FrameRecv => recvs.entry(key).or_default().push(index),
+            _ => {}
+        }
+    }
+
+    type EdgeMap = BTreeMap<(&'static str, &'static str), EdgeFlows>;
+    fn edge_entry<'a>(
+        edges: &'a mut EdgeMap,
+        from: &'static str,
+        to: &'static str,
+    ) -> &'a mut EdgeFlows {
+        edges.entry((from, to)).or_insert_with(move || EdgeFlows {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            sends: 0,
+            recvs: 0,
+            matched: 0,
+        })
+    }
+    let mut edges: EdgeMap = BTreeMap::new();
+    for (&(from, to, _), list) in &sends {
+        edge_entry(&mut edges, from, to).sends += list.len() as u64;
+    }
+    for (&(from, to, _), list) in &recvs {
+        edge_entry(&mut edges, from, to).recvs += list.len() as u64;
+    }
+    let mut flows: Vec<(usize, usize)> = Vec::new();
+    for (key, send_list) in &sends {
+        if let Some(recv_list) = recvs.get(key) {
+            let matched = send_list.len().min(recv_list.len());
+            edges
+                .get_mut(&(key.0, key.1))
+                .expect("edge registered")
+                .matched += matched as u64;
+            flows.extend(
+                send_list
+                    .iter()
+                    .copied()
+                    .zip(recv_list.iter().copied())
+                    .take(matched),
+            );
+        }
+    }
+
+    // Render the merged document.
+    let ts_us = |ns: i64| format!("{:.3}", ns as f64 / 1000.0);
+    let mut out = String::with_capacity(4096 + placed.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let emit = |out: &mut String, first: &mut bool, record: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&record);
+    };
+    for (index, dump) in dumps.iter().enumerate() {
+        let pid = index + 1;
+        let mut name = String::new();
+        push_json_string(&mut name, &dump.process);
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":{name}}}}}"
+            ),
+        );
+        for (tid, trace) in dump.traces.iter().enumerate() {
+            let mut thread = String::new();
+            push_json_string(&mut thread, &trace.thread);
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{thread}}}}}"
+                ),
+            );
+        }
+    }
+    for p in &placed {
+        let mut name = String::new();
+        let arrow = match p.event.kind {
+            Kind::Send | Kind::Select | Kind::FrameSend => "->",
+            Kind::Receive | Kind::Branch | Kind::FrameRecv => "<-",
+        };
+        push_json_string(
+            &mut name,
+            &format!("{} {} {}", p.event.role, arrow, p.event.peer),
+        );
+        let mut label = String::new();
+        push_json_string(&mut label, p.event.label);
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":{name},\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{\"label\":{label},\"seq\":{}}}}}",
+                p.event.kind.as_str(),
+                p.pid,
+                p.tid,
+                ts_us(p.ts_ns),
+                p.event.seq,
+            ),
+        );
+    }
+    for (flow_id, &(send_index, recv_index)) in flows.iter().enumerate() {
+        let send = &placed[send_index];
+        let recv = &placed[recv_index];
+        let mut name = String::new();
+        push_json_string(
+            &mut name,
+            &format!("{} => {}", send.event.role, send.event.peer),
+        );
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":{name},\"cat\":\"frame-flow\",\"ph\":\"s\",\"id\":{flow_id},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                send.pid,
+                send.tid,
+                ts_us(send.ts_ns),
+            ),
+        );
+        // Offset-estimation error can place the receive marginally
+        // before the send; clamp so the arrow always points forward.
+        let recv_ts = recv.ts_ns.max(send.ts_ns);
+        emit(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":{name},\"cat\":\"frame-flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                recv.pid,
+                recv.tid,
+                ts_us(recv_ts),
+            ),
+        );
+    }
+    out.push_str("]}");
+
+    let report = MergeReport {
+        flows: flows.len() as u64,
+        edges: edges.into_values().collect(),
+    };
+    (out, report)
 }
 
 fn push_json_string(out: &mut String, value: &str) {
@@ -217,6 +715,8 @@ mod enabled {
         label_ptr: AtomicU64,
         /// `role_len | peer_len << 16 | label_len << 32 | kind << 48`.
         lens_kind: AtomicU64,
+        /// Per-edge frame sequence (0 for session events).
+        msg_seq: AtomicU64,
     }
 
     impl Slot {
@@ -228,6 +728,7 @@ mod enabled {
                 peer_ptr: AtomicU64::new(0),
                 label_ptr: AtomicU64::new(0),
                 lens_kind: AtomicU64::new(0),
+                msg_seq: AtomicU64::new(0),
             }
         }
     }
@@ -277,7 +778,13 @@ mod enabled {
         })
     }
 
-    pub(super) fn event(kind: Kind, role: &'static str, peer: &'static str, label: &'static str) {
+    pub(super) fn event(
+        kind: Kind,
+        role: &'static str,
+        peer: &'static str,
+        label: &'static str,
+        msg_seq: u64,
+    ) {
         let t_ns = now_ns();
         let ring = ring_for_current_thread();
         let index = ring.tail.load(Ordering::Relaxed);
@@ -300,6 +807,7 @@ mod enabled {
             | (label.len() as u64) << 32
             | (kind.as_u8() as u64) << 48;
         slot.lens_kind.store(lens_kind, Ordering::Relaxed);
+        slot.msg_seq.store(msg_seq, Ordering::Relaxed);
         slot.seq.store(seq + 2, Ordering::Release);
 
         // Publishing the new tail last means drains only look at slots
@@ -328,6 +836,7 @@ mod enabled {
         let peer_ptr = slot.peer_ptr.load(Ordering::Relaxed);
         let label_ptr = slot.label_ptr.load(Ordering::Relaxed);
         let lens_kind = slot.lens_kind.load(Ordering::Relaxed);
+        let msg_seq = slot.msg_seq.load(Ordering::Relaxed);
         fence(Ordering::Acquire);
         if slot.seq.load(Ordering::Relaxed) != expected_seq {
             return None;
@@ -351,6 +860,7 @@ mod enabled {
             role,
             peer,
             label,
+            seq: msg_seq,
         })
     }
 
@@ -451,6 +961,7 @@ mod tests {
                 role: "S",
                 peer: "T",
                 label: "Value",
+                seq: 0,
             }],
             dropped: 0,
         }];
@@ -468,5 +979,130 @@ mod tests {
         let mut out = String::new();
         push_json_string(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    fn frame_event(
+        kind: Kind,
+        role: &'static str,
+        peer: &'static str,
+        t_ns: u64,
+        seq: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            kind,
+            role,
+            peer,
+            label: "frame",
+            seq,
+        }
+    }
+
+    #[test]
+    fn dump_text_round_trips_through_parse() {
+        let dump = ProcessDump {
+            process: "S".into(),
+            peer_offsets: vec![("T".into(), -12345)],
+            traces: vec![ThreadTrace {
+                thread: "netlink-writer S->T".into(),
+                events: vec![
+                    frame_event(Kind::FrameSend, "S", "T", 1000, 1),
+                    frame_event(Kind::FrameSend, "S", "T", 2000, 2),
+                ],
+                dropped: 3,
+            }],
+        };
+        let text = render_dump(&dump);
+        let parsed = parse_dump(&text).expect("dump parses");
+        assert_eq!(parsed.process, "S");
+        assert_eq!(parsed.peer_offsets, vec![("T".to_owned(), -12345)]);
+        assert_eq!(parsed.traces.len(), 1);
+        assert_eq!(parsed.traces[0].thread, "netlink-writer S->T");
+        assert_eq!(parsed.traces[0].dropped, 3);
+        assert_eq!(parsed.traces[0].events.len(), 2);
+        assert_eq!(parsed.traces[0].events[1].seq, 2);
+        assert_eq!(parsed.traces[0].events[1].kind, Kind::FrameSend);
+        assert_eq!(parsed.traces[0].events[1].role, "S");
+    }
+
+    #[test]
+    fn parse_dump_rejects_garbage() {
+        assert!(parse_dump("not a dump").is_err());
+        assert!(parse_dump("rumpsteak-trace-dump v1\nbogus\tline\n").is_err());
+        assert!(parse_dump("rumpsteak-trace-dump v1\n").is_err()); // no process
+    }
+
+    #[test]
+    fn merge_emits_flow_events_and_aligns_clocks() {
+        // Process S stamps with a clock 1 ms ahead of T's; T measured
+        // offset(S) = +1_000_000 during the handshake. T is the
+        // reference (first dump).
+        let t_dump = ProcessDump {
+            process: "T".into(),
+            peer_offsets: vec![("S".into(), 1_000_000)],
+            traces: vec![ThreadTrace {
+                thread: "netlink-reader S->T".into(),
+                events: vec![frame_event(Kind::FrameRecv, "S", "T", 5_000, 1)],
+                dropped: 0,
+            }],
+        };
+        let s_dump = ProcessDump {
+            process: "S".into(),
+            peer_offsets: vec![],
+            traces: vec![ThreadTrace {
+                thread: "netlink-writer S->T".into(),
+                events: vec![frame_event(Kind::FrameSend, "S", "T", 1_002_000, 1)],
+                dropped: 0,
+            }],
+        };
+        let (json, report) = merge_chrome_trace(&[t_dump, s_dump]);
+        assert_eq!(report.flows, 1);
+        assert_eq!(report.edges.len(), 1);
+        let edge = &report.edges[0];
+        assert_eq!((edge.from.as_str(), edge.to.as_str()), ("S", "T"));
+        assert_eq!((edge.sends, edge.recvs, edge.matched), (1, 1, 1));
+        // Both phases of the flow pair are present, with distinct pids.
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"process_name\""));
+        // S's event shifted by -offset: 1_002_000 - 1_000_000 = 2_000 ns
+        // against T's 5_000 ns; normalised base is 2_000, so the send
+        // lands at ts 0 and the receive at 3 us.
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"ts\":3.000"));
+    }
+
+    #[test]
+    fn merge_reports_unmatched_edges() {
+        let only_sends = ProcessDump {
+            process: "A".into(),
+            peer_offsets: vec![],
+            traces: vec![ThreadTrace {
+                thread: "w".into(),
+                events: vec![frame_event(Kind::FrameSend, "A", "B", 10, 1)],
+                dropped: 0,
+            }],
+        };
+        let (_, report) = merge_chrome_trace(&[only_sends]);
+        assert_eq!(report.flows, 0);
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(report.edges[0].matched, 0);
+        assert_eq!(report.edges[0].sends, 1);
+    }
+
+    #[test]
+    fn peer_offset_table_round_trips() {
+        set_peer_offset("OffsetPeer", 42);
+        set_peer_offset("OffsetPeer", -7);
+        let offsets = peer_offsets();
+        if crate::ENABLED {
+            let entry = offsets
+                .iter()
+                .find(|(peer, _)| peer == "OffsetPeer")
+                .expect("offset registered");
+            assert_eq!(entry.1, -7);
+        } else {
+            assert!(offsets.is_empty());
+        }
     }
 }

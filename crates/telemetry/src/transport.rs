@@ -33,6 +33,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 #[cfg(feature = "telemetry")]
+use crate::hist::Histogram;
+use crate::hist::HistogramSnapshot;
+#[cfg(feature = "telemetry")]
 use crate::Counter;
 
 /// Shared statistics cell for one directed remote link `from → to`.
@@ -58,6 +61,9 @@ struct TransportCell {
     send_window: AtomicU64,
     /// Statically verified k-MC bound; 0 = not registered.
     kmc_bound: AtomicU64,
+    /// Frame encode→decode wire latency, measured from the sender's
+    /// trace-context timestamp adjusted by the handshake clock offset.
+    wire_latency: Histogram,
 }
 
 #[cfg(feature = "telemetry")]
@@ -88,6 +94,7 @@ fn cell(from: &'static str, to: &'static str) -> Arc<TransportCell> {
                 instances: Counter::new(),
                 send_window: AtomicU64::new(0),
                 kmc_bound: AtomicU64::new(0),
+                wire_latency: Histogram::new(),
             })
         })
         .clone()
@@ -152,6 +159,18 @@ impl TransportStats {
     recorder! {
         /// Records one dial retry before the peer accepted.
         record_reconnect => |cell| cell.reconnects.incr()
+    }
+
+    /// Records one frame's encode→decode wire latency in nanoseconds
+    /// (sender timestamp already shifted into the receiver's clock).
+    #[inline]
+    pub fn record_wire_latency(&self, ns: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(cell) = &self.cell {
+            cell.wire_latency.record(ns);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = ns;
     }
 }
 
@@ -245,6 +264,9 @@ pub struct TransportSnapshot {
     pub send_window: Option<u64>,
     /// Registered k-MC bound, if any.
     pub kmc_bound: Option<u64>,
+    /// Frame encode→decode latency distribution (empty until a traced
+    /// frame arrives).
+    pub wire_latency: HistogramSnapshot,
 }
 
 impl TransportSnapshot {
@@ -283,6 +305,7 @@ pub fn snapshot() -> Vec<TransportSnapshot> {
                     instances: cell.instances.get(),
                     send_window: (window > 0).then_some(window),
                     kmc_bound: (bound > 0).then_some(bound),
+                    wire_latency: cell.wire_latency.snapshot(),
                 }
             })
             .collect();
@@ -317,6 +340,8 @@ mod tests {
         stats.record_frame_received(12);
         stats.record_window_stall();
         stats.record_reconnect();
+        stats.record_wire_latency(1_500);
+        stats.record_wire_latency(2_500);
         let links = snapshot();
         if crate::ENABLED {
             let link = links
@@ -332,6 +357,8 @@ mod tests {
             assert_eq!(link.send_window, Some(4));
             assert_eq!(link.kmc_bound, Some(4));
             assert!(!link.window_exceeds_bound());
+            assert_eq!(link.wire_latency.count, 2);
+            assert!(link.wire_latency.max >= 2_500);
         } else {
             assert!(links.is_empty());
         }
@@ -375,6 +402,7 @@ mod tests {
         stats.record_frame_received(100);
         stats.record_window_stall();
         stats.record_reconnect();
+        stats.record_wire_latency(9);
         // No panic, nothing registered.
     }
 }

@@ -122,27 +122,37 @@ def main():
                     f"{name} run{hint}"
                 )
 
+    # Every row is compared before any verdict is acted on: a perf PR
+    # gets the complete regression picture — each offending protocol
+    # with its slowdown ratio, worst first — from a single CI run.
+    regressions = []
     print(f"{'protocol':<22} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")
     for protocol in sorted(baseline):
         base = baseline[protocol]
         if protocol not in current:
             print(f"{protocol:<22} {base:>12.1f} {'MISSING':>12} {'-':>8}  FAIL")
-            failures.append(f"{protocol}: missing from current run")
+            regressions.append((float("inf"), f"{protocol}: missing from current run"))
             continue
         cur = current[protocol]
         ratio = cur / base if base > 0 else float("inf")
         verdict = "ok" if ratio <= args.tolerance else "FAIL"
         print(f"{protocol:<22} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f}  {verdict}")
         if verdict == "FAIL":
-            failures.append(
-                f"{protocol}: {cur:.1f} ns/op vs baseline {base:.1f} "
-                f"({ratio:.2f}x > {args.tolerance}x)"
+            regressions.append(
+                (
+                    ratio,
+                    f"{protocol}: {cur:.1f} ns/op vs baseline {base:.1f} "
+                    f"({ratio:.2f}x > {args.tolerance}x)",
+                )
             )
     for protocol in sorted(set(current) - set(baseline)):
         print(f"{protocol:<22} {'-':>12} {current[protocol]:>12.1f} {'-':>8}  new")
 
-    if failures:
-        print("\nbench_gate: regression detected:", file=sys.stderr)
+    if regressions or failures:
+        count = len(regressions) + len(failures)
+        print(f"\nbench_gate: {count} failure(s), worst first:", file=sys.stderr)
+        for _, message in sorted(regressions, key=lambda r: -r[0]):
+            print(f"  {message}", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         sys.exit(1)

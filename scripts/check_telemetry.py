@@ -27,7 +27,16 @@ Validates the instrumented artifact CI produces with
   both a send window and a k-MC bound registered satisfies
   `send_window <= kmc_bound` (the socket window may never out-run the
   verified depth), at least one row has a registered send window, and
-  at least one row moved actual frames.
+  at least one row moved actual frames,
+* latency histograms: every channel row carries a `latency` member and
+  every transport row a `wire_latency` member — `null` when the link
+  recorded no samples, else `{count, p50, p90, p99, p999, max}` with a
+  positive count and a monotone quantile ladder
+  (`p50 <= p90 <= p99 <= p999 <= max`); at least one channel row and
+  one transport row must carry real samples (the stamp paths cannot
+  all be dead),
+* `telemetry.sessions` is a non-empty list of `{role, lifetime_ns}`
+  spawn-to-teardown histograms with at least one recorded lifetime.
 
 Exit codes: 0 pass, 1 schema violation, 2 usage/IO error.
 """
@@ -85,6 +94,39 @@ def is_count(value):
     return isinstance(value, int) and not isinstance(value, bool) and value >= 0
 
 
+QUANTILES = ("p50", "p90", "p99", "p999", "max")
+
+
+def check_hist(hist, where, errors):
+    """Validates one histogram member; returns True when it has samples.
+
+    `None` is legal (the link recorded nothing); anything else must be
+    a complete quantile object with a monotone ladder.
+    """
+    if hist is None:
+        return False
+    if not isinstance(hist, dict):
+        errors.append(f"{where}: not null or an object")
+        return False
+    for key in ("count",) + QUANTILES:
+        if not is_count(hist.get(key)):
+            errors.append(
+                f"{where}.{key}: missing or not a non-negative integer"
+            )
+            return False
+    if hist["count"] == 0:
+        errors.append(f"{where}: present but count is 0 (should be null)")
+        return False
+    ladder = [hist[q] for q in QUANTILES]
+    if ladder != sorted(ladder):
+        errors.append(
+            f"{where}: quantile ladder is not monotone: "
+            + ", ".join(f"{q}={hist[q]}" for q in QUANTILES)
+        )
+        return False
+    return True
+
+
 def check_counter_block(block, where, errors):
     if not isinstance(block, dict):
         errors.append(f"{where}: not an object")
@@ -136,6 +178,7 @@ def check_channels(channels, errors):
         errors.append("telemetry.channels: missing or empty")
         return
     bounded = 0
+    sampled = 0
     for i, link in enumerate(channels):
         where = f"telemetry.channels[{i}]"
         if not isinstance(link, dict):
@@ -151,6 +194,10 @@ def check_channels(channels, errors):
                     f"{where} ({name}).{key}: missing or not a "
                     f"non-negative integer"
                 )
+        if "latency" not in link:
+            errors.append(f"{where} ({name}): no `latency` member")
+        elif check_hist(link["latency"], f"{where} ({name}).latency", errors):
+            sampled += 1
         bound = link.get("kmc_bound")
         if bound is None:
             continue
@@ -179,6 +226,11 @@ def check_channels(channels, errors):
         errors.append(
             "telemetry.channels: no link carries a registered k-MC bound"
         )
+    if sampled == 0:
+        errors.append(
+            "telemetry.channels: no link recorded send->recv latency "
+            "samples — the slot-commit stamp path is dead"
+        )
 
 
 def check_transport(transport, errors):
@@ -187,6 +239,7 @@ def check_transport(transport, errors):
         return
     windowed = 0
     framed = 0
+    sampled = 0
     for i, link in enumerate(transport):
         where = f"telemetry.transport[{i}]"
         if not isinstance(link, dict):
@@ -202,6 +255,12 @@ def check_transport(transport, errors):
                     f"{where} ({name}).{key}: missing or not a "
                     f"non-negative integer"
                 )
+        if "wire_latency" not in link:
+            errors.append(f"{where} ({name}): no `wire_latency` member")
+        elif check_hist(
+            link["wire_latency"], f"{where} ({name}).wire_latency", errors
+        ):
+            sampled += 1
         if is_count(link.get("frames_sent")) and link["frames_sent"] > 0:
             framed += 1
         window = link.get("send_window")
@@ -227,6 +286,34 @@ def check_transport(transport, errors):
         )
     if framed == 0:
         errors.append("telemetry.transport: no link moved any frames")
+    if sampled == 0:
+        errors.append(
+            "telemetry.transport: no link recorded wire latency samples "
+            "— the frame trace-context path is dead"
+        )
+
+
+def check_sessions(sessions, errors):
+    if not isinstance(sessions, list) or not sessions:
+        errors.append("telemetry.sessions: missing or empty")
+        return
+    recorded = 0
+    for i, entry in enumerate(sessions):
+        where = f"telemetry.sessions[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        role = entry.get("role")
+        if not isinstance(role, str) or not role:
+            errors.append(f"{where}.role: missing or not a string")
+        if "lifetime_ns" not in entry:
+            errors.append(f"{where} ({role}): no `lifetime_ns` member")
+        elif check_hist(
+            entry["lifetime_ns"], f"{where} ({role}).lifetime_ns", errors
+        ):
+            recorded += 1
+    if recorded == 0:
+        errors.append("telemetry.sessions: no role recorded a lifetime")
 
 
 def main():
@@ -256,20 +343,25 @@ def main():
     check_scheduler(telemetry.get("scheduler"), errors)
     check_channels(telemetry.get("channels"), errors)
     check_transport(telemetry.get("transport"), errors)
+    check_sessions(telemetry.get("sessions"), errors)
     if errors:
         fail(errors)
 
     scheduler = telemetry["scheduler"]
     channels = telemetry["channels"]
     transport = telemetry["transport"]
+    sessions = telemetry["sessions"]
     bounded = sum(1 for link in channels if link.get("kmc_bound") is not None)
     windowed = sum(
         1 for link in transport if link.get("send_window") is not None
     )
+    sampled = sum(1 for link in channels if link.get("latency") is not None)
     print(
         f"check_telemetry: ok — {len(scheduler)} scheduler sweep(s), "
         f"{len(channels)} channel(s), {bounded} with verified k-MC bounds, "
-        f"{len(transport)} transport link(s), {windowed} with socket windows"
+        f"{sampled} with latency histograms, {len(transport)} transport "
+        f"link(s), {windowed} with socket windows, {len(sessions)} session "
+        f"role(s)"
     )
 
 

@@ -3,12 +3,20 @@
 # loopback and checks both sides ran the session to completion.
 #
 # Usage:
-#     run_distributed_example.sh tcp|uds [BINARY]
+#     run_distributed_example.sh tcp|uds [BINARY] [--telemetry TRACE_BIN]
 #
 # BINARY defaults to the release build of examples/distributed_streaming
 # (built with `cargo build --release --example distributed_streaming`);
 # pass a path to skip the cargo invocation, e.g. in CI after a workspace
 # build.
+#
+# --telemetry TRACE_BIN additionally exercises the observability path
+# (requires a BINARY built with `--features telemetry`): role S serves
+# `GET /metrics`, a scraper polls it *while the session runs* and
+# asserts the exposition parses and carries per-link histogram series,
+# both roles write trace dumps, and TRACE_BIN (a `rumpsteak-trace`
+# build) merges them into one timeline — failing unless every protocol
+# edge with frame sends produced at least one cross-process flow event.
 #
 # Topology: role S is listed first so role T (listed later) dials S;
 # S accepts. Starting T first exercises the dial-retry path.
@@ -18,27 +26,59 @@ mode="${1:-}"
 case "$mode" in
     tcp | uds) ;;
     *)
-        echo "usage: $0 tcp|uds [BINARY]" >&2
+        echo "usage: $0 tcp|uds [BINARY] [--telemetry TRACE_BIN]" >&2
         exit 2
         ;;
 esac
+shift
+
+binary=""
+trace_bin=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --telemetry)
+            trace_bin="${2:?--telemetry requires a rumpsteak-trace binary}"
+            shift 2
+            ;;
+        *)
+            binary="$1"
+            shift
+            ;;
+    esac
+done
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-binary="${2:-}"
 if [[ -z "$binary" ]]; then
     (cd "$repo" && cargo build --release --example distributed_streaming)
     binary="$repo/target/release/examples/distributed_streaming"
 fi
 
 workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
+pids=()
+# The trap owns teardown for every exit path: any still-running role is
+# killed (so an interrupt can't leak a process holding a bound socket)
+# and the workdir — UDS sockets included — is removed.
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+trap 'exit 130' INT TERM
 
 topology="$workdir/topology.txt"
-if [[ "$mode" == tcp ]]; then
-    # Two free loopback ports, bound briefly by python to reserve them.
-    read -r port_s port_t < <(python3 - <<'EOF'
-import socket
-sockets = [socket.socket() for _ in range(2)]
+metrics_port=""
+if [[ "$mode" == tcp || -n "$trace_bin" ]]; then
+    # Free loopback ports, bound briefly by python to reserve them: two
+    # for a TCP topology, one more for the metrics endpoint.
+    count=0
+    [[ "$mode" == tcp ]] && count=2
+    [[ -n "$trace_bin" ]] && count=$((count + 1))
+    read -r -a ports < <(COUNT="$count" python3 - <<'EOF'
+import os, socket
+sockets = [socket.socket() for _ in range(int(os.environ["COUNT"]))]
 for s in sockets:
     s.bind(("127.0.0.1", 0))
 print(*(s.getsockname()[1] for s in sockets))
@@ -46,7 +86,10 @@ for s in sockets:
     s.close()
 EOF
 )
-    printf 'S tcp:127.0.0.1:%s\nT tcp:127.0.0.1:%s\n' "$port_s" "$port_t" > "$topology"
+    [[ -n "$trace_bin" ]] && metrics_port="${ports[-1]}"
+fi
+if [[ "$mode" == tcp ]]; then
+    printf 'S tcp:127.0.0.1:%s\nT tcp:127.0.0.1:%s\n' "${ports[0]}" "${ports[1]}" > "$topology"
 else
     printf 'S uds:%s/s.sock\nT uds:%s/t.sock\n' "$workdir" "$workdir" > "$topology"
 fi
@@ -54,27 +97,135 @@ fi
 echo "== topology ($mode) =="
 cat "$topology"
 
-# T dials S and retries until S binds, so launch order is free; start T
-# first to make the retry path do real work.
-timeout 60 "$binary" T "$topology" > "$workdir/t.log" 2>&1 &
-t_pid=$!
-status=0
-timeout 60 "$binary" S "$topology" > "$workdir/s.log" 2>&1 || status=$?
-wait "$t_pid" || status=$?
+if [[ -n "$trace_bin" ]]; then
+    # Polls role S's metrics endpoint until the exposition carries
+    # per-link wire-latency histogram series (and every line parses),
+    # then saves that scrape. Exits 1 on timeout — the run is over and
+    # the endpoint is gone, so a miss means the mid-run window closed
+    # without a valid scrape.
+    cat > "$workdir/scrape.py" <<'EOF'
+import pathlib, re, sys, time, urllib.request
 
-echo "== role S =="
-cat "$workdir/s.log"
-echo "== role T =="
-cat "$workdir/t.log"
-
-if [[ "$status" -ne 0 ]]; then
-    echo "run_distributed_example: a role exited with status $status" >&2
-    exit 1
+url, out_path, ready_path = sys.argv[1], sys.argv[2], sys.argv[3]
+line_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [0-9.e+-]+$")
+# The session is over in milliseconds, so the launcher holds the roles
+# back until this file exists — interpreter startup must not eat the
+# scrape window.
+pathlib.Path(ready_path).touch()
+deadline = time.monotonic() + 30
+while time.monotonic() < deadline:
+    try:
+        with urllib.request.urlopen(url, timeout=1) as response:
+            body = response.read().decode()
+    except OSError:
+        time.sleep(0.0005)
+        continue
+    for line in body.splitlines():
+        if line and not line.startswith("#") and not line_re.match(line):
+            sys.exit(f"unparseable exposition line: {line!r}")
+    if 'rumpsteak_wire_latency_ns{' in body and 'quantile="0.99"' in body:
+        with open(out_path, "w") as handle:
+            handle.write(body)
+        print(f"scraped {len(body)} byte(s) mid-run")
+        sys.exit(0)
+    time.sleep(0.0005)
+sys.exit("metrics endpoint never served per-link histogram series")
+EOF
 fi
-for role in s t; do
-    if ! grep -q "ran to completion" "$workdir/$role.log"; then
-        echo "run_distributed_example: role ${role^^} did not report completion" >&2
+
+# One telemetry attempt can lose the race between the scraper and a
+# fast session (the endpoint lives exactly as long as the run), so the
+# launch block retries a miss; role failures fail immediately.
+attempts=1
+[[ -n "$trace_bin" ]] && attempts=5
+scrape_ok=1
+for attempt in $(seq 1 "$attempts"); do
+    scrape_pid=""
+    if [[ -n "$trace_bin" ]]; then
+        rm -f "$workdir/scrape.ready"
+        python3 "$workdir/scrape.py" \
+            "http://127.0.0.1:$metrics_port/metrics" "$workdir/metrics.txt" \
+            "$workdir/scrape.ready" > "$workdir/scrape.log" 2>&1 &
+        scrape_pid=$!
+        pids+=("$scrape_pid")
+        # Hold the roles until the scraper is actually polling.
+        for _ in $(seq 1 200); do
+            [[ -e "$workdir/scrape.ready" ]] && break
+            sleep 0.05
+        done
+    fi
+
+    # T dials S and retries until S binds, so launch order is free;
+    # start T first to make the retry path do real work. Each role is
+    # waited on individually: either crashing fails the script with
+    # that role's own exit status. The observability env vars are only
+    # *set* in telemetry mode — the generated main treats a set-but-
+    # empty value as a real path/address.
+    t_env=()
+    s_env=()
+    if [[ -n "$trace_bin" ]]; then
+        t_env=("RUMPSTEAK_TRACE_OUT=$workdir/t.trace")
+        s_env=(
+            "RUMPSTEAK_TRACE_OUT=$workdir/s.trace"
+            "RUMPSTEAK_METRICS=127.0.0.1:$metrics_port"
+        )
+    fi
+    env "${t_env[@]}" timeout 60 "$binary" T "$topology" > "$workdir/t.log" 2>&1 &
+    t_pid=$!
+    pids+=("$t_pid")
+    env "${s_env[@]}" timeout 60 "$binary" S "$topology" > "$workdir/s.log" 2>&1 &
+    s_pid=$!
+    pids+=("$s_pid")
+
+    status_s=0
+    status_t=0
+    wait "$s_pid" || status_s=$?
+    wait "$t_pid" || status_t=$?
+
+    echo "== role S (attempt $attempt) =="
+    cat "$workdir/s.log"
+    echo "== role T (attempt $attempt) =="
+    cat "$workdir/t.log"
+
+    for role in S T; do
+        status_var="status_${role,,}"
+        if [[ "${!status_var}" -ne 0 ]]; then
+            echo "run_distributed_example: role $role exited with status ${!status_var}" >&2
+            exit 1
+        fi
+        if ! grep -q "ran to completion" "$workdir/${role,,}.log"; then
+            echo "run_distributed_example: role $role did not report completion" >&2
+            exit 1
+        fi
+    done
+
+    [[ -z "$trace_bin" ]] && break
+    # The endpoint died with role S: a scraper still polling now can
+    # only time out, so give it a moment to finish writing and reap it.
+    sleep 0.2
+    kill "$scrape_pid" 2>/dev/null || true
+    scrape_ok=0
+    wait "$scrape_pid" || scrape_ok=$?
+    cat "$workdir/scrape.log"
+    [[ "$scrape_ok" -eq 0 ]] && break
+    echo "run_distributed_example: mid-run scrape missed, retrying" >&2
+done
+
+if [[ -n "$trace_bin" ]]; then
+    if [[ "$scrape_ok" -ne 0 ]]; then
+        echo "run_distributed_example: metrics endpoint was never scraped mid-run" >&2
         exit 1
     fi
-done
+    echo "== metrics (wire latency series) =="
+    grep "rumpsteak_wire_latency_ns" "$workdir/metrics.txt"
+
+    # Stitch the two per-process dumps; rumpsteak-trace exits non-zero
+    # if any edge with frame sends produced no cross-process flow.
+    echo "== trace merge =="
+    "$trace_bin" --merge "$workdir/s.trace" "$workdir/t.trace" \
+        --out "$workdir/merged.json"
+    python3 -m json.tool "$workdir/merged.json" > /dev/null
+    echo "run_distributed_example: merged timeline is well-formed JSON"
+fi
+
 echo "run_distributed_example: ok ($mode)"
