@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig6 [streaming|double-buffering|fft]
-//! cargo run --release -p bench --bin fig6 -- --json [--quick] [--out PATH]
+//! cargo run --release -p bench --bin fig6 -- --json [--quick] [--edge-costs] [--out PATH]
 //! cargo run --release -p bench --features telemetry --bin fig6 -- \
 //!     --json --telemetry [--quick] [--out PATH]
 //! ```
@@ -21,6 +21,12 @@
 //! bench gate diffs against); so that smoke runs can never dirty the
 //! working tree, it defaults its output to the system temp directory.
 //! `--out PATH` routes the artifact anywhere explicitly.
+//!
+//! `--edge-costs` appends an `"edge_costs"` section: the per-link-class
+//! cost micro-profile (send/recv base ns and ns-per-byte slope for the
+//! SPSC, pooled-bounded, TCP and UDS classes — see `bench::edge_costs`)
+//! that `rumpsteak-gen --optimise --costs BENCH_fig6.json` loads to rank
+//! AMR candidates by estimated nanoseconds saved.
 //!
 //! `--telemetry` (instrumented builds only) appends a `"telemetry"`
 //! section to the JSON: per-worker scheduler counters for every swept
@@ -55,6 +61,7 @@ fn main() {
     let mut json = false;
     let mut quick = false;
     let mut with_telemetry = false;
+    let mut with_edge_costs = false;
     let mut out: Option<String> = None;
     let mut which: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -63,6 +70,7 @@ fn main() {
             "--json" => json = true,
             "--quick" => quick = true,
             "--telemetry" => with_telemetry = true,
+            "--edge-costs" => with_edge_costs = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -74,7 +82,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}`; expected \
-                     streaming|double-buffering|fft|all, --json, --quick, --out PATH"
+                     streaming|double-buffering|fft|all, --json, --quick, \
+                     --edge-costs, --out PATH"
                 );
                 std::process::exit(2);
             }
@@ -84,8 +93,8 @@ fn main() {
         eprintln!("--json always sweeps every protocol; drop the table name");
         std::process::exit(2);
     }
-    if (quick || out.is_some() || with_telemetry) && !json {
-        eprintln!("--quick, --out and --telemetry only apply to --json mode");
+    if (quick || out.is_some() || with_telemetry || with_edge_costs) && !json {
+        eprintln!("--quick, --out, --telemetry and --edge-costs only apply to --json mode");
         std::process::exit(2);
     }
     if with_telemetry && !telemetry::ENABLED {
@@ -97,7 +106,7 @@ fn main() {
     }
 
     if json {
-        emit_json(quick, with_telemetry, out);
+        emit_json(quick, with_telemetry, with_edge_costs, out);
         return;
     }
     let which = which.unwrap_or_else(|| "all".into());
@@ -125,7 +134,7 @@ struct JsonResult {
     ns_per_op: f64,
 }
 
-fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
+fn emit_json(quick: bool, with_telemetry: bool, with_edge_costs: bool, out_path: Option<String>) {
     let budget = if quick {
         Duration::from_millis(40)
     } else {
@@ -290,6 +299,17 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
                 transport::tcp_burst(&rt, net_burst);
             },
         );
+        // Projected vs AMR-optimised streaming, side by side, like the
+        // double-buffering pair below: the CI quality gate compares the
+        // two rows to prove the optimiser's pick actually wins.
+        bench(
+            "streaming_proj",
+            format!("\"n\": {stream_n}"),
+            u64::from(stream_n),
+            &mut || {
+                streaming::run_rumpsteak(&rt, stream_n, false);
+            },
+        );
         bench(
             "streaming",
             format!("\"n\": {stream_n}"),
@@ -341,6 +361,11 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
         #[cfg(unix)]
         "transport_uds_pingpong",
         "transport_tcp_burst",
+        // The opt-vs-proj pairs the CI quality gate compares.
+        "streaming_proj",
+        "streaming",
+        "double_buffering_proj",
+        "double_buffering",
     ] {
         assert!(
             results
@@ -383,6 +408,32 @@ fn emit_json(quick: bool, with_telemetry: bool, out_path: Option<String>) {
         });
     }
     out.push_str("  ]");
+    if with_edge_costs {
+        // The per-edge cost micro-profile runs once, after the sweep, on
+        // a two-worker runtime (one producer, one consumer — the shape
+        // every class's harness needs).
+        let rt = executor::Runtime::new(2);
+        let classes = bench::edge_costs::measure(&rt, quick);
+        assert!(
+            !classes.is_empty(),
+            "fig6 --edge-costs measured no link classes"
+        );
+        out.push_str(",\n  \"edge_costs\": {\n    \"unit\": \"ns\",\n    \"classes\": [\n");
+        for (index, class) in classes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"class\": \"{}\", \"send_base_ns\": {:.2}, \
+                 \"recv_base_ns\": {:.2}, \"ns_per_byte\": {:.4}}}",
+                class.class, class.send_base_ns, class.recv_base_ns, class.ns_per_byte
+            );
+            out.push_str(if index + 1 < classes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ]\n  }");
+    }
     if with_telemetry {
         out.push_str(",\n");
         out.push_str(&telemetry_section(&scheduler));

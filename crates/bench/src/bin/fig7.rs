@@ -170,7 +170,9 @@ fn table_pipeline() {
 /// verification). `check` times one subtype check of the hand-written
 /// variant against its projection; `derive` times the optimiser run that
 /// rediscovers it; `cands` is the number of candidates that run
-/// generates.
+/// generates; `visits` is the total state-pair visits the bulk
+/// verification performed, read from the per-candidate `CheckStats` the
+/// optimiser already collected — the checker is not re-run for it.
 fn table_amr() {
     use theory::Name;
 
@@ -184,7 +186,7 @@ fn table_amr() {
     );
 
     println!("# AMR automation: hand-written check vs automatic derivation (seconds)");
-    println!("family\tn\tcheck(hand)\tderive(auto)\tcands");
+    println!("family\tn\tcheck(hand)\tderive(auto)\tcands\tvisits");
     let families: [Family; 2] = [
         ("k-buffering", "k", k_buffering::projected, |n| {
             k_buffering::optimised(n)
@@ -211,8 +213,13 @@ fn table_amr() {
                     optimiser::optimise(&Name::from(role), &projected, &config).expect("optimises");
                 outcome.best().is_some_and(|best| best.score >= n)
             });
+            let visits: usize = outcome
+                .candidates
+                .iter()
+                .map(|c| c.stats.visited_pairs)
+                .sum();
             println!(
-                "{family}\t{n}\t{}\t{}\t{}",
+                "{family}\t{n}\t{}\t{}\t{}\t{visits}",
                 fmt(Some(check)),
                 fmt(Some(derive)),
                 outcome.generated

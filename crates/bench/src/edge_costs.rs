@@ -1,0 +1,286 @@
+//! Per-edge cost micro-profile behind `fig6 --json --edge-costs`.
+//!
+//! For each link class generated sessions can run on, this measures the
+//! two numbers the optimiser's cost model prices rewrites with:
+//!
+//! * the fixed per-message cost of a send and of a receive
+//!   (`send_base_ns` / `recv_base_ns`), and
+//! * the marginal cost of each payload byte (`ns_per_byte`), taken as
+//!   the slope between a 1 KiB and a 16 KiB payload sweep so the fixed
+//!   costs divide out.
+//!
+//! The classes mirror `optimiser::cost::CostModel::default_table`:
+//!
+//! * **`spsc`** — the in-process lock-free ring, the data plane
+//!   generated in-process code runs on. Send and receive are timed as
+//!   separate phases (flood the ring, then drain it), so the split is
+//!   measured rather than assumed. The per-byte slope comes from the
+//!   alloc/move payload path: allocating and filling the payload *is*
+//!   the honest per-byte cost of moving bytes through this class.
+//! * **`bounded`** — the zero-copy pooled path (bounded ring + buffer
+//!   pool + batch receive). Its per-byte slope is 10–15× shallower than
+//!   `spsc`'s; the base is the 1 KiB cost with the payload contribution
+//!   subtracted back out.
+//! * **`tcp` / `uds`** — the framed socket transport over loopback.
+//!   Base cost is half the measured ping-pong round trip (one framed
+//!   hop), split evenly between send and receive since the wire path is
+//!   symmetric; the slope comes from `Vec<u8>` payload bursts at the
+//!   same two sizes.
+//!
+//! Every value is clamped non-negative so a noisy quick run can never
+//! emit a profile `CostModel::from_profile` rejects.
+
+use std::time::Instant;
+
+use executor::channel::Bidirectional;
+use executor::Runtime;
+#[cfg(unix)]
+use rumpsteak::net::loopback_pair_uds;
+use rumpsteak::net::{loopback_pair_tcp, NetLink};
+
+use crate::{channels, transport};
+
+/// Telemetry label of the payload-sweep links (producer side).
+pub const EDGE_COST_FROM: &str = "EdgeCostSrc";
+/// Telemetry label of the payload-sweep links (consumer side).
+pub const EDGE_COST_TO: &str = "EdgeCostSink";
+
+/// Payload sizes the per-byte slope is fitted between; matching the
+/// `channel_spsc_burst_{1k,16k}` rows keeps the profile comparable with
+/// the throughput table in the same artifact.
+const SLOPE_PAYLOADS: (usize, usize) = (1024, 16384);
+
+/// Send window of the socket payload sweeps, mirroring the burst rows.
+const NET_WINDOW: usize = 64;
+
+/// Measured cost table of one link class, one entry of the artifact's
+/// `edge_costs.classes` array.
+pub struct EdgeClassCost {
+    /// Class name as the optimiser's cost model knows it.
+    pub class: &'static str,
+    /// Fixed cost of one send, nanoseconds.
+    pub send_base_ns: f64,
+    /// Fixed cost of one receive, nanoseconds.
+    pub recv_base_ns: f64,
+    /// Marginal cost of one payload byte, nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+/// Times one run of `f` in nanoseconds.
+fn timed(f: impl FnOnce()) -> f64 {
+    let started = Instant::now();
+    f();
+    started.elapsed().as_nanos() as f64
+}
+
+/// Best-of-`reps` (minimum) of a nanosecond measurement: the run least
+/// disturbed by scheduler noise, which is what slope fitting wants.
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps)
+        .map(|_| f())
+        .fold(f64::INFINITY, f64::min)
+        .max(0.0)
+}
+
+/// Per-byte slope between the two payload sweeps, clamped non-negative.
+fn slope(ns_small: f64, ns_large: f64) -> f64 {
+    let (small, large) = SLOPE_PAYLOADS;
+    ((ns_large - ns_small) / (large - small) as f64).max(0.0)
+}
+
+/// Floods the SPSC ring with `messages` values, then drains it: the two
+/// phases time the send and receive halves of the hot path separately.
+/// Returns (send ns/msg, recv ns/msg).
+fn spsc_phases(rt: &Runtime, messages: u32) -> (f64, f64) {
+    let (mut source, mut sink) = Bidirectional::pair();
+    let send_ns = timed(|| {
+        for value in 0..messages {
+            source.send(value).unwrap();
+        }
+        drop(source);
+    }) / f64::from(messages);
+    let recv_ns = timed(|| {
+        let received = rt
+            .block_on(rt.spawn(async move {
+                let mut received = 0u32;
+                while let Some(value) = sink.recv().await {
+                    assert_eq!(value, received, "edge-cost drain out of order");
+                    received += 1;
+                }
+                received
+            }))
+            .unwrap();
+        assert_eq!(received, messages, "edge-cost drain lost messages");
+    }) / f64::from(messages);
+    (send_ns, recv_ns)
+}
+
+/// Floods `messages` payload vectors through one framed socket
+/// direction while the far side drains; returns total nanoseconds.
+fn net_payload_burst(
+    rt: &Runtime,
+    links: (NetLink<Vec<u8>>, NetLink<Vec<u8>>),
+    messages: u32,
+    payload: usize,
+) -> f64 {
+    let (mut source, mut sink) = links;
+    timed(|| {
+        let consumer = rt.spawn(async move {
+            let mut received = 0u64;
+            while let Some(buf) = sink.recv().await {
+                assert_eq!(buf.len(), payload, "edge-cost frame truncated");
+                received += 1;
+            }
+            received
+        });
+        let producer = rt.spawn(async move {
+            for _ in 0..messages {
+                source.send(vec![0xA5; payload]).await.unwrap();
+            }
+        });
+        rt.block_on(producer).unwrap();
+        assert_eq!(rt.block_on(consumer).unwrap(), u64::from(messages));
+    })
+}
+
+/// Measures every link class. `quick` shrinks iteration counts and
+/// repetitions the same way `fig6 --json --quick` shrinks its budget:
+/// same shapes, smaller sample.
+pub fn measure(rt: &Runtime, quick: bool) -> Vec<EdgeClassCost> {
+    let reps = if quick { 2 } else { 5 };
+    let spsc_messages: u32 = if quick { 4000 } else { 20000 };
+    let payload_messages: u32 = if quick { 1000 } else { 5000 };
+    let net_rounds: u32 = if quick { 100 } else { 500 };
+    let net_messages: u32 = if quick { 300 } else { 2000 };
+    let (small, large) = SLOPE_PAYLOADS;
+
+    let mut classes = Vec::new();
+
+    // spsc: measured send/recv split plus the alloc/move payload slope.
+    let (mut send_ns, mut recv_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (send, recv) = spsc_phases(rt, spsc_messages);
+        send_ns = send_ns.min(send);
+        recv_ns = recv_ns.min(recv);
+    }
+    let per_payload = |payload: usize| {
+        best_of(reps, || {
+            timed(|| {
+                channels::spsc_burst_payload(rt, payload_messages, payload);
+            }) / f64::from(payload_messages)
+        })
+    };
+    classes.push(EdgeClassCost {
+        class: "spsc",
+        send_base_ns: send_ns.max(0.0),
+        recv_base_ns: recv_ns.max(0.0),
+        ns_per_byte: slope(per_payload(small), per_payload(large)),
+    });
+
+    // bounded: the pooled zero-copy path; base is the 1 KiB cost minus
+    // the payload contribution, split evenly between the two ends.
+    let per_pooled = |payload: usize| {
+        best_of(reps, || {
+            timed(|| {
+                channels::spsc_burst_pooled(rt, payload_messages, payload);
+            }) / f64::from(payload_messages)
+        })
+    };
+    let (pooled_small, pooled_large) = (per_pooled(small), per_pooled(large));
+    let pooled_slope = slope(pooled_small, pooled_large);
+    let pooled_base = ((pooled_small - pooled_slope * small as f64) / 2.0).max(0.0);
+    classes.push(EdgeClassCost {
+        class: "bounded",
+        send_base_ns: pooled_base,
+        recv_base_ns: pooled_base,
+        ns_per_byte: pooled_slope,
+    });
+
+    // tcp: one framed loopback hop is half the ping-pong round trip;
+    // the wire path is symmetric, so send and receive split it evenly.
+    let tcp_hop = best_of(reps, || {
+        timed(|| {
+            transport::tcp_ping_pong(rt, net_rounds);
+        }) / f64::from(net_rounds)
+    }) / 2.0;
+    let tcp_payload = |payload: usize| {
+        best_of(reps, || {
+            let links = loopback_pair_tcp::<Vec<u8>>(
+                EDGE_COST_FROM,
+                EDGE_COST_TO,
+                Some(NET_WINDOW),
+                Some(1),
+            )
+            .expect("loopback TCP pair");
+            net_payload_burst(rt, links, net_messages, payload) / f64::from(net_messages)
+        })
+    };
+    classes.push(EdgeClassCost {
+        class: "tcp",
+        send_base_ns: tcp_hop / 2.0,
+        recv_base_ns: tcp_hop / 2.0,
+        ns_per_byte: slope(tcp_payload(small), tcp_payload(large)),
+    });
+
+    // uds: same split over a Unix-domain socket pair.
+    #[cfg(unix)]
+    {
+        let uds_hop = best_of(reps, || {
+            timed(|| {
+                transport::uds_ping_pong(rt, net_rounds);
+            }) / f64::from(net_rounds)
+        }) / 2.0;
+        let uds_payload = |payload: usize| {
+            best_of(reps, || {
+                let links = loopback_pair_uds::<Vec<u8>>(
+                    EDGE_COST_FROM,
+                    EDGE_COST_TO,
+                    Some(NET_WINDOW),
+                    Some(1),
+                )
+                .expect("loopback UDS pair");
+                net_payload_burst(rt, links, net_messages, payload) / f64::from(net_messages)
+            })
+        };
+        classes.push(EdgeClassCost {
+            class: "uds",
+            send_base_ns: uds_hop / 2.0,
+            recv_base_ns: uds_hop / 2.0,
+            ns_per_byte: slope(uds_payload(small), uds_payload(large)),
+        });
+    }
+
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_measures_finite_nonnegative_costs() {
+        let rt = Runtime::new(2);
+        let classes = measure(&rt, true);
+        let names: Vec<&str> = classes.iter().map(|c| c.class).collect();
+        assert!(names.contains(&"spsc"));
+        assert!(names.contains(&"bounded"));
+        assert!(names.contains(&"tcp"));
+        #[cfg(unix)]
+        assert!(names.contains(&"uds"));
+        for class in &classes {
+            for (field, value) in [
+                ("send_base_ns", class.send_base_ns),
+                ("recv_base_ns", class.recv_base_ns),
+                ("ns_per_byte", class.ns_per_byte),
+            ] {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    "class `{}` measured a bad {field}: {value}",
+                    class.class,
+                );
+            }
+            // Base costs are real work, never exactly free.
+            assert!(class.send_base_ns + class.recv_base_ns > 0.0);
+        }
+    }
+}

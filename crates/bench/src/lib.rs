@@ -16,6 +16,10 @@
 //! * [`transport`] — networked-transport microbenchmarks (framed
 //!   loopback TCP/UDS ping-pong and k-bounded burst) measuring the
 //!   distributed backend's wire path, also swept by `fig6 --json`,
+//! * [`edge_costs`] — the per-link-class cost micro-profile behind
+//!   `fig6 --json --edge-costs`: per-message send/recv base cost and
+//!   per-byte slope for each class, the measured table
+//!   `rumpsteak-gen --optimise --costs` ranks AMR candidates with,
 //! * [`meta`] — provenance metadata (git revision, rustc version,
 //!   timestamp) stamped into the JSON artifacts,
 //! * [`table1`] — the expressiveness matrix of Table 1,
@@ -26,6 +30,7 @@
 //! `fig6`, `fig7` and `table1` binaries print the corresponding tables.
 
 pub mod channels;
+pub mod edge_costs;
 pub mod meta;
 pub mod protocols;
 pub mod scaling;

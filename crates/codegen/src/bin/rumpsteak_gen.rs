@@ -7,6 +7,7 @@
 //! rumpsteak-gen protocol.scr --check --k 2        # verify before emitting
 //! rumpsteak-gen protocol.scr --param n=4          # instantiate `role w[1..n]`
 //! rumpsteak-gen protocol.scr --optimise --bound 2 # AMR-optimise projections
+//! rumpsteak-gen protocol.scr --optimise --costs BENCH_fig6.json  # measured costs
 //! rumpsteak-gen protocol.scr --skeleton           # runnable program skeleton
 //! rumpsteak-gen protocol.scr --skeleton --distributed  # per-process program
 //! rumpsteak-gen protocol.scr --format dot         # Graphviz FSMs
@@ -60,6 +61,13 @@ options:
     --report FILE           with --optimise, write the machine-readable
                             optimisation report (one JSON object per
                             role) to FILE
+    --costs FILE            with --optimise, rank candidates by measured
+                            per-edge costs loaded from a bench artifact
+                            (the `edge_costs` section of BENCH_fig6.json,
+                            regenerated with `fig6 --json --edge-costs`);
+                            without --costs a documented static default
+                            table calibrated on the committed artifact is
+                            used
     --check                 verify the system about to be emitted (the
                             optimised one under --optimise): k-MC
                             (deadlocks, reception errors, orphans) plus a
@@ -83,6 +91,7 @@ struct Options {
     optimise: bool,
     bound: Option<usize>,
     report: Option<String>,
+    costs: Option<String>,
     params: Vec<(theory::Name, i64)>,
     k: usize,
     output: Option<String>,
@@ -98,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         optimise: false,
         bound: None,
         report: None,
+        costs: None,
         params: Vec::new(),
         k: 2,
         output: None,
@@ -125,6 +135,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--report" => match iter.next() {
                 Some(path) => options.report = Some(path.clone()),
                 None => return Err("--report requires a path".into()),
+            },
+            "--costs" => match iter.next() {
+                Some(path) => options.costs = Some(path.clone()),
+                None => return Err("--costs requires a path".into()),
             },
             "--param" => match iter.next().and_then(|v| v.split_once('=')) {
                 Some((name, value)) if !name.is_empty() => match value.parse() {
@@ -162,6 +176,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if options.bound.is_some() && !options.optimise {
         return Err("--bound requires --optimise (--k sets the check's channel bound)".into());
+    }
+    if options.costs.is_some() && !options.optimise {
+        return Err("--costs requires --optimise".into());
     }
     Ok(options)
 }
@@ -207,7 +224,31 @@ fn main() -> ExitCode {
     };
 
     if options.optimise {
-        let config = optimiser::Config::with_depth(options.bound.unwrap_or(1));
+        // The CLI always ranks by an explicit cost model: the measured
+        // profile when `--costs` names a bench artifact, the documented
+        // static default table otherwise. (Library callers that want the
+        // legacy receives-crossed proxy leave `Config.cost` unset.)
+        let model = match options.costs.as_deref() {
+            Some(path) => {
+                let profile = match std::fs::read_to_string(path) {
+                    Ok(profile) => profile,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match optimiser::CostModel::from_profile(&profile) {
+                    Ok(model) => model,
+                    Err(e) => {
+                        eprintln!("error: --costs {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => optimiser::CostModel::default_table(),
+        };
+        let source_label = model.source();
+        let config = optimiser::Config::with_depth(options.bound.unwrap_or(1)).with_cost(model);
         let reports = match codegen::optimise(&mut analysis, &config) {
             Ok(reports) => reports,
             Err(e) => {
@@ -218,9 +259,13 @@ fn main() -> ExitCode {
         for report in &reports {
             match &report.best {
                 Some(best) => eprintln!(
-                    "optimised: {}: score {} ({}/{} candidates verified): {}",
+                    "optimised: {}: score {}{} ({}/{} candidates verified): {}",
                     report.role,
                     best.score,
+                    match best.estimated_saving_ns {
+                        Some(saving) => format!(", est. {saving:.1} ns saved ({source_label})"),
+                        None => String::new(),
+                    },
                     report.verified,
                     report.generated,
                     best.derivation.join(", "),

@@ -76,7 +76,11 @@ fn generate(source: &str) -> String {
     let directive = directive(source);
     let mut analysis = codegen::analyse_with(source, &directive.params).expect("protocol analyses");
     if directive.optimise {
-        let config = optimiser::Config::with_depth(directive.bound.unwrap_or(1));
+        // Mirror the CLI: `rumpsteak-gen --optimise` always ranks by a cost
+        // model — the static default table when no `--costs` artifact is
+        // given — so goldens pin exactly what the tool emits.
+        let config = optimiser::Config::with_depth(directive.bound.unwrap_or(1))
+            .with_cost(optimiser::CostModel::default_table());
         codegen::optimise(&mut analysis, &config).expect("optimise pass succeeds");
     }
     if directive.distributed {

@@ -14,11 +14,19 @@
 //!    the sound asynchronous subtyping algorithm
 //!    (`subtyping::check_candidates`), so only provably safe
 //!    reorderings survive;
-//! 3. **score** — rank the verified candidates by how many receives
-//!    their sends were moved ahead of (sends made non-blocking /
-//!    pipeline depth unlocked), tie-breaking towards smaller machines;
+//! 3. **score** — rank the verified candidates: with a [`cost`] model in
+//!    the [`Config`], by *estimated nanoseconds saved* (each crossed
+//!    receive weighted by measured edge cost and payload wire size,
+//!    minus the occupancy of hoisting the payload earlier); without one,
+//!    by the receives-crossed proxy (sends made non-blocking / pipeline
+//!    depth unlocked) — both tie-breaking towards smaller machines;
 //! 4. **report** — return the best verified subtype plus a
 //!    machine-readable [`Report`] of the whole search.
+//!
+//! Candidates whose hoisted payload data-depends on a crossed receive
+//! (the forwarding shape `p?value(S)…q!value(S)`) are pruned during
+//! generation — protocol-sound but unimplementable without inventing
+//! the payload; see [`rewrite`]. The report counts them.
 //!
 //! ```
 //! use optimiser::{optimise, Config};
@@ -34,6 +42,7 @@
 //! assert!(outcome.best().is_some());
 //! ```
 
+pub mod cost;
 pub mod rewrite;
 
 use std::collections::HashSet;
@@ -43,6 +52,7 @@ use theory::fsm::{self, Fsm, FsmError};
 use theory::local::LocalType;
 use theory::name::Name;
 
+pub use cost::CostModel;
 pub use rewrite::Step;
 
 /// Search budgets for the candidate generation and verification.
@@ -60,6 +70,11 @@ pub struct Config {
     /// Recursion-unrolling bound handed to the subtype checker; deeper
     /// anticipation needs a larger bound.
     pub bound: usize,
+    /// Cost model for estimated-ns-saved ranking. `None` keeps the
+    /// receives-crossed proxy (and its exact legacy tie-breaking); the
+    /// CLI always supplies a model — measured with `--costs`, the
+    /// documented [`cost::CostModel::default_table`] otherwise.
+    pub cost: Option<CostModel>,
 }
 
 impl Config {
@@ -73,7 +88,14 @@ impl Config {
             max_steps: depth.max(4),
             max_candidates: 512,
             bound: depth + 4,
+            cost: None,
         }
+    }
+
+    /// Ranks candidates with `model` instead of the crossing proxy.
+    pub fn with_cost(mut self, model: CostModel) -> Self {
+        self.cost = Some(model);
+        self
     }
 }
 
@@ -95,6 +117,10 @@ pub struct Candidate {
     pub derivation: Vec<Step>,
     /// Σ of step scores: receives that sends were moved ahead of.
     pub score: usize,
+    /// Estimated nanoseconds the reordering saves under the configured
+    /// cost model; `None` when the search ran without one. Can be
+    /// negative — an occupancy penalty outweighing the crossing benefit.
+    pub estimated_saving_ns: Option<f64>,
     /// Statistics of the subtype check that verified it.
     pub stats: subtyping::CheckStats,
 }
@@ -111,20 +137,32 @@ pub struct Optimised {
     pub projection_fsm: Fsm,
     /// Candidates generated (before verification).
     pub generated: usize,
-    /// Verified candidates, best first (score desc, then fewer states,
-    /// then generation order).
+    /// Rewrite applications dropped by data-dependence pruning.
+    pub pruned: usize,
+    /// Verified candidates, best first (estimated saving desc under a
+    /// cost model, else score desc; then score desc, fewer states,
+    /// generation order).
     pub candidates: Vec<Candidate>,
     /// True when generation stopped at [`Config::max_candidates`].
     pub truncated: bool,
     /// The subtype bound the candidates were verified with.
     pub bound: usize,
+    /// Where the ranking's cost numbers came from (`None` without a
+    /// cost model).
+    pub cost_source: Option<cost::CostSource>,
 }
 
 impl Optimised {
     /// The best verified candidate that strictly improves on the
-    /// projection, if any.
+    /// projection, if any: positive estimated saving under a cost
+    /// model, positive crossing score otherwise.
     pub fn best(&self) -> Option<&Candidate> {
-        self.candidates.first().filter(|c| c.score > 0)
+        self.candidates
+            .first()
+            .filter(|c| match c.estimated_saving_ns {
+                Some(saving) => saving > 0.0,
+                None => c.score > 0,
+            })
     }
 
     /// The local type to emit: the best improving candidate, or the
@@ -144,22 +182,36 @@ impl Optimised {
             role: self.role.clone(),
             projection: self.projection.to_string(),
             generated: self.generated,
+            pruned: self.pruned,
             verified: self.candidates.len(),
             truncated: self.truncated,
             bound: self.bound,
+            cost_source: self.cost_source.map(|s| s.to_string()),
             best: self.best().map(|c| BestCandidate {
                 local: c.local.to_string(),
                 score: c.score,
                 states: c.fsm.len(),
                 derivation: c.derivation.iter().map(Step::to_string).collect(),
                 visited_pairs: c.stats.visited_pairs,
+                estimated_saving_ns: c.estimated_saving_ns,
             }),
+            candidates: self
+                .candidates
+                .iter()
+                .map(|c| CandidateSummary {
+                    local: c.local.to_string(),
+                    score: c.score,
+                    states: c.fsm.len(),
+                    visited_pairs: c.stats.visited_pairs,
+                    estimated_saving_ns: c.estimated_saving_ns,
+                })
+                .collect(),
         }
     }
 }
 
 /// Machine-readable summary of one role's optimisation run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// The optimised role.
     pub role: Name,
@@ -167,19 +219,26 @@ pub struct Report {
     pub projection: String,
     /// Candidates generated.
     pub generated: usize,
+    /// Rewrite applications dropped by data-dependence pruning.
+    pub pruned: usize,
     /// Candidates that passed the subtype check.
     pub verified: usize,
     /// Whether generation hit the candidate cap.
     pub truncated: bool,
     /// Subtype bound used for verification.
     pub bound: usize,
+    /// `"measured"` or `"default-table"` when a cost model ranked the
+    /// candidates; `None` under the receives-crossed proxy.
+    pub cost_source: Option<String>,
     /// The winning candidate; `None` when no verified candidate improves
-    /// on the projection (score 0), in which case the projection is kept.
+    /// on the projection, in which case the projection is kept.
     pub best: Option<BestCandidate>,
+    /// Every verified candidate, in rank order.
+    pub candidates: Vec<CandidateSummary>,
 }
 
 /// The winning candidate inside a [`Report`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BestCandidate {
     /// Textual form of the reordered local type.
     pub local: String,
@@ -191,6 +250,23 @@ pub struct BestCandidate {
     pub derivation: Vec<String>,
     /// State-pair visits of the verifying subtype check.
     pub visited_pairs: usize,
+    /// Estimated nanoseconds saved under the configured cost model.
+    pub estimated_saving_ns: Option<f64>,
+}
+
+/// One verified candidate inside a [`Report`], in rank order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidateSummary {
+    /// Textual form of the reordered local type.
+    pub local: String,
+    /// Receives that sends were moved ahead of.
+    pub score: usize,
+    /// FSM state count.
+    pub states: usize,
+    /// State-pair visits of the verifying subtype check.
+    pub visited_pairs: usize,
+    /// Estimated nanoseconds saved under the configured cost model.
+    pub estimated_saving_ns: Option<f64>,
 }
 
 impl Report {
@@ -205,14 +281,20 @@ impl Report {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"role\": {}, \"projection\": {}, \"generated\": {}, \"verified\": {}, \
-             \"truncated\": {}, \"bound\": {}, \"improved\": {}, \"best\": ",
+            "{{\"role\": {}, \"projection\": {}, \"generated\": {}, \"pruned\": {}, \
+             \"verified\": {}, \"truncated\": {}, \"bound\": {}, \"cost_source\": {}, \
+             \"improved\": {}, \"best\": ",
             json_string(self.role.as_str()),
             json_string(&self.projection),
             self.generated,
+            self.pruned,
             self.verified,
             self.truncated,
             self.bound,
+            match &self.cost_source {
+                Some(source) => json_string(source),
+                None => "null".to_owned(),
+            },
             self.improved(),
         );
         match &self.best {
@@ -223,17 +305,43 @@ impl Report {
                 let _ = write!(
                     out,
                     "{{\"local\": {}, \"score\": {}, \"states\": {}, \"visited_pairs\": {}, \
-                     \"derivation\": [{}]}}",
+                     \"estimated_saving_ns\": {}, \"derivation\": [{}]}}",
                     json_string(&best.local),
                     best.score,
                     best.states,
                     best.visited_pairs,
+                    json_f64(best.estimated_saving_ns),
                     derivation.join(", "),
                 );
             }
         }
-        out.push('}');
+        out.push_str(", \"candidates\": [");
+        for (index, candidate) in self.candidates.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"local\": {}, \"score\": {}, \"states\": {}, \"visited_pairs\": {}, \
+                 \"estimated_saving_ns\": {}}}",
+                json_string(&candidate.local),
+                candidate.score,
+                candidate.states,
+                candidate.visited_pairs,
+                json_f64(candidate.estimated_saving_ns),
+            );
+        }
+        out.push_str("]}");
         out
+    }
+}
+
+/// Renders an optional estimated saving: one decimal, `null` when the
+/// search ran without a cost model.
+fn json_f64(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "null".to_owned(),
     }
 }
 
@@ -274,6 +382,7 @@ pub fn optimise(
     let mut generated: Vec<(LocalType, Vec<Step>)> = Vec::new();
     let mut frontier: Vec<(LocalType, Vec<Step>)> = vec![(projection.clone(), Vec::new())];
     let mut truncated = false;
+    let mut pruned = 0usize;
     'search: while !frontier.is_empty() {
         let mut next = Vec::new();
         for (term, derivation) in &frontier {
@@ -284,7 +393,9 @@ pub fn optimise(
                 .iter()
                 .filter(|s| matches!(s, Step::Anticipate { .. }))
                 .count();
-            for (candidate, step) in rewrite::rewrites(term, anticipations < config.unfold_depth) {
+            let rewrites = rewrite::rewrites(term, anticipations < config.unfold_depth);
+            pruned += rewrites.pruned;
+            for (candidate, step) in rewrites.candidates {
                 if !seen.insert(candidate.to_string()) {
                     continue;
                 }
@@ -323,24 +434,45 @@ pub fn optimise(
             local: local.clone(),
             fsm: machine,
             score: derivation.iter().map(Step::score).sum(),
+            estimated_saving_ns: config
+                .cost
+                .as_ref()
+                .map(|model| model.saving_ns(derivation)),
             derivation: derivation.clone(),
             stats,
         })
         .collect();
 
     // ---- score: best first, stably --------------------------------
-    // (sort_by_key is stable, so equal (score, states) keep generation
-    // order: earlier-generated candidates win ties.)
-    candidates.sort_by_key(|c| (std::cmp::Reverse(c.score), c.fsm.len()));
+    // (both sorts are stable, so equal keys keep generation order:
+    // earlier-generated candidates win ties.)
+    match &config.cost {
+        // Receives-crossed proxy: the legacy ranking, bit-for-bit.
+        None => candidates.sort_by_key(|c| (std::cmp::Reverse(c.score), c.fsm.len())),
+        // Estimated ns saved, tie-broken by the proxy then by machine
+        // size — a cheap reordering outranks a bulky one even when they
+        // cross the same number of receives.
+        Some(_) => candidates.sort_by(|a, b| {
+            let (a_ns, b_ns) = (
+                a.estimated_saving_ns.unwrap_or(0.0),
+                b.estimated_saving_ns.unwrap_or(0.0),
+            );
+            b_ns.total_cmp(&a_ns)
+                .then(b.score.cmp(&a.score))
+                .then(a.fsm.len().cmp(&b.fsm.len()))
+        }),
+    }
 
     Ok(Optimised {
         role: role.clone(),
         projection: projection.clone(),
         projection_fsm,
         generated: generated.len(),
+        pruned,
         candidates,
         truncated,
         bound: config.bound,
+        cost_source: config.cost.as_ref().map(CostModel::source),
     })
 }
 
@@ -482,6 +614,76 @@ mod tests {
             fsm::from_local(&"r".into(), &outcome.best().expect("optimises").local).unwrap(),
             fsm::from_local(&"r".into(), &parse("rec x . q!v . p?v . x").unwrap()).unwrap()
         );
+    }
+
+    /// Rank of the candidate whose textual form is `local`.
+    fn position(outcome: &Optimised, local: &str) -> usize {
+        outcome
+            .candidates
+            .iter()
+            .position(|c| c.local.to_string() == local)
+            .unwrap_or_else(|| panic!("candidate `{local}` not among the verified"))
+    }
+
+    #[test]
+    fn cost_model_ranks_cheap_payload_hoists_above_bulky_ones() {
+        // Two hoists, each crossing exactly one receive: the proxy ranks
+        // them equal (generation order decides — the bulky one is at the
+        // root, so it is generated first), the cost model penalises the
+        // 1 KiB payload's occupancy and flips them.
+        let projection = parse("p?a.q!big(str).p?b.q!tiny(i32).end").unwrap();
+        let bulky = "q!big(str).p?a.p?b.q!tiny(i32).end";
+        let cheap = "p?a.q!big(str).q!tiny(i32).p?b.end";
+
+        let proxy = optimise(&"self".into(), &projection, &Config::with_depth(0)).unwrap();
+        assert!(position(&proxy, bulky) < position(&proxy, cheap));
+
+        let config = Config::with_depth(0).with_cost(CostModel::default_table());
+        let priced = optimise(&"self".into(), &projection, &config).unwrap();
+        assert!(position(&priced, cheap) < position(&priced, bulky));
+        let best = priced.best().expect("the cheap hoist is a net win");
+        assert!(best.estimated_saving_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn negative_saving_keeps_the_projection() {
+        // Crossing one bare token cannot pay for hoisting a 1 KiB
+        // payload: every candidate's saving is negative, so the
+        // projection is kept even though the proxy finds a "win".
+        let projection = parse("p?a.q!big(str).end").unwrap();
+        let config = Config::with_depth(0).with_cost(CostModel::default_table());
+        let outcome = optimise(&"self".into(), &projection, &config).unwrap();
+        assert!(outcome.candidates[0].estimated_saving_ns.unwrap() < 0.0);
+        assert!(outcome.best().is_none());
+        assert_eq!(outcome.best_local(), &projection);
+        let proxy = optimise(&"self".into(), &projection, &Config::with_depth(0)).unwrap();
+        assert!(proxy.best().is_some(), "the proxy would have taken it");
+    }
+
+    #[test]
+    fn forwarding_candidates_are_pruned_and_counted() {
+        let outcome = run("rec x . p?v(i32) . q!v(i32) . x", 1);
+        assert!(outcome.pruned > 0);
+        assert!(outcome
+            .candidates
+            .iter()
+            .all(|c| c.derivation.iter().all(|s| s.score() == 0)));
+        assert!(outcome.report().to_json().contains("\"pruned\": "));
+    }
+
+    #[test]
+    fn report_json_carries_cost_fields() {
+        let projection = parse("rec x . p?v . q!v . x").unwrap();
+        let config = Config::with_depth(0).with_cost(CostModel::default_table());
+        let outcome = optimise(&"self".into(), &projection, &config).unwrap();
+        let json = outcome.report().to_json();
+        assert!(json.contains("\"cost_source\": \"default-table\""));
+        assert!(json.contains("\"estimated_saving_ns\": "));
+        assert!(json.contains("\"candidates\": ["));
+        // Without a model the fields degrade to null, not vanish.
+        let legacy = run("rec x . p?v . q!v . x", 0).report().to_json();
+        assert!(legacy.contains("\"cost_source\": null"));
+        assert!(legacy.contains("\"estimated_saving_ns\": null"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! subtype <subtype> <supertype> [--bound N] [--json]
+//! subtype <cand1> <cand2> ... <supertype> [--bound N] [--json]
 //! ```
 //!
 //! Each argument is either a local-type expression (e.g.
@@ -15,15 +16,30 @@
 //! ```text
 //! {"verdict": true, "bound": 16, "visited_pairs": 42}
 //! ```
+//!
+//! With more than two positionals, every argument but the last is a
+//! candidate checked against the final supertype in one
+//! `check_candidates` pass — the bulk shape the AMR optimiser uses —
+//! and `--json` reports the per-candidate `CheckStats` visit counts:
+//!
+//! ```text
+//! {"bound": 16, "candidates": [
+//!   {"verdict": true, "visited_pairs": 42}, ...]}
+//! ```
+//!
+//! The bulk form exits 0 only when every candidate verifies.
 
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: subtype <subtype> <supertype> [options]
+       subtype <cand1> <cand2> ... <supertype> [options]
 
 Checks whether <subtype> is a sound asynchronous subtype of <supertype>.
 Each positional argument is a local-type expression, or `@path` to read
-one from a file.
+one from a file. With more than two positionals, every argument but the
+last is a candidate checked against the final supertype in one bulk
+pass (the shape the AMR optimiser validates its reorderings with).
 
 options:
     --bound N   recursion-unrolling bound: how many times each pair of
@@ -33,10 +49,13 @@ options:
     --json      print one JSON object instead of prose:
                 {\"verdict\": bool, \"bound\": N, \"visited_pairs\": N}
                 where visited_pairs counts the state-pair visits the
-                search performed (its cost metric)
+                search performed (its cost metric); with multiple
+                candidates, {\"bound\": N, \"candidates\": [...]} with
+                one {\"verdict\", \"visited_pairs\"} entry per candidate
     -h, --help  show this help
 
-exit codes: 0 subtype holds, 1 not shown, 2 usage or parse error";
+exit codes: 0 every subtyping holds, 1 some not shown, 2 usage or
+parse error";
 
 fn read_type(arg: &str) -> Result<theory::LocalType, String> {
     let text = if let Some(path) = arg.strip_prefix('@') {
@@ -70,43 +89,102 @@ fn main() -> ExitCode {
             other => positional.push(other.to_owned()),
         }
     }
-    let [sub, sup] = positional.as_slice() else {
+    if positional.len() < 2 {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
-    };
+    }
 
-    let (sub, sup) = match (read_type(sub), read_type(sup)) {
-        (Ok(sub), Ok(sup)) => (sub, sup),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+    let mut types = Vec::with_capacity(positional.len());
+    for arg in &positional {
+        match read_type(arg) {
+            Ok(t) => types.push(t),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
+    let sup = types.pop().expect("at least two positionals");
 
-    let stats = match subtyping::check_with_stats_local(&sub, &sup, bound) {
-        Ok(stats) => stats,
+    if let [sub] = types.as_slice() {
+        // Pairwise form: the original interface, output unchanged.
+        let stats = match subtyping::check_with_stats_local(sub, &sup, bound) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            println!(
+                "{{\"verdict\": {}, \"bound\": {}, \"visited_pairs\": {}}}",
+                stats.verdict, stats.bound, stats.visited_pairs
+            );
+        } else if stats.verdict {
+            println!(
+                "subtype holds (bound {bound}, {} state pairs visited)",
+                stats.visited_pairs
+            );
+        } else {
+            println!(
+                "subtype NOT shown (bound {bound}, {} state pairs visited)",
+                stats.visited_pairs
+            );
+        }
+        return if stats.verdict {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Bulk form: every candidate against the one supertype, exactly the
+    // `check_candidates` pass the optimiser runs, stats in input order.
+    let role = theory::Name::from("self");
+    let sup_fsm = match theory::fsm::from_local(&role, &sup) {
+        Ok(fsm) => fsm,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let mut candidates = Vec::with_capacity(types.len());
+    for (index, candidate) in types.iter().enumerate() {
+        match theory::fsm::from_local(&role, candidate) {
+            Ok(fsm) => candidates.push(fsm),
+            Err(e) => {
+                eprintln!("error: candidate {}: {e}", index + 1);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let stats = subtyping::check_candidates(candidates.iter(), &sup_fsm, bound);
+    let all_hold = stats.iter().all(|s| s.verdict);
     if json {
+        let entries: Vec<String> = stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"verdict\": {}, \"visited_pairs\": {}}}",
+                    s.verdict, s.visited_pairs
+                )
+            })
+            .collect();
         println!(
-            "{{\"verdict\": {}, \"bound\": {}, \"visited_pairs\": {}}}",
-            stats.verdict, stats.bound, stats.visited_pairs
-        );
-    } else if stats.verdict {
-        println!(
-            "subtype holds (bound {bound}, {} state pairs visited)",
-            stats.visited_pairs
+            "{{\"bound\": {bound}, \"candidates\": [{}]}}",
+            entries.join(", ")
         );
     } else {
-        println!(
-            "subtype NOT shown (bound {bound}, {} state pairs visited)",
-            stats.visited_pairs
-        );
+        for (index, s) in stats.iter().enumerate() {
+            println!(
+                "candidate {}: {} (bound {bound}, {} state pairs visited)",
+                index + 1,
+                if s.verdict { "holds" } else { "NOT shown" },
+                s.visited_pairs
+            );
+        }
     }
-    if stats.verdict {
+    if all_hold {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

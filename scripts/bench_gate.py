@@ -4,7 +4,8 @@ committed baseline artifact.
 
 Usage:
     bench_gate.py BASELINE.json CURRENT.json [--tolerance X]
-                  [--require-prefix P ...]
+                  [--family-tolerance PROTO=X ...] [--require-prefix P ...]
+                  [--quality-pair OPT:PROJ ...] [--quality-slack X]
 
 For every protocol present in the baseline, the best (minimum) ns/op
 across thread counts is compared against the current run's best. Quick
@@ -14,14 +15,24 @@ comparable; the gate fails only when the current best is more than
 `--tolerance` times slower (default 2.5x) — generous on purpose, so
 noisy shared CI runners and the quick mode's smaller sample counts do
 not trip it, while genuine order-of-magnitude regressions still do.
+`--family-tolerance PROTO=X` (repeatable) overrides the factor for one
+protocol; the tolerance actually applied is printed in every table row
+and failure line.
 
 `--require-prefix P` (repeatable) additionally fails the gate unless
 both runs contain at least one protocol starting with `P`: a microbench
 family (e.g. the `channel_` rows) cannot silently vanish from the sweep
 and thereby escape regression coverage.
 
-Exit codes: 0 pass, 1 regression (or baseline protocol missing from the
-current run), 2 usage/IO error.
+`--quality-pair OPT:PROJ` (repeatable) is the optimiser's quality loop:
+both rows must be present, and the AMR-optimised variant `OPT` must
+beat its unoptimised projection `PROJ` — strictly in the committed
+baseline (full measurement budget, so a loss there means the optimiser
+picked a bad candidate), and within `--quality-slack` (default 1.25x)
+in the current run, whose quick-mode sample is noisier.
+
+Exit codes: 0 pass, 1 regression / quality failure (or baseline
+protocol missing from the current run), 2 usage/IO error.
 """
 
 import argparse
@@ -89,6 +100,14 @@ def main():
         help="maximum allowed slowdown factor (default: 2.5)",
     )
     parser.add_argument(
+        "--family-tolerance",
+        action="append",
+        default=[],
+        metavar="PROTO=X",
+        help="per-protocol tolerance override (repeatable), e.g. "
+        "double_buffering=1.5",
+    )
+    parser.add_argument(
         "--require-prefix",
         action="append",
         default=[],
@@ -96,10 +115,54 @@ def main():
         help="fail unless both runs contain a protocol starting with P "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--quality-pair",
+        action="append",
+        default=[],
+        metavar="OPT:PROJ",
+        help="require the optimised row OPT to beat the projection row "
+        "PROJ: strictly in the baseline, within --quality-slack in the "
+        "current run (repeatable)",
+    )
+    parser.add_argument(
+        "--quality-slack",
+        type=float,
+        default=1.25,
+        help="allowed opt/proj ratio in the (noisier) current run "
+        "(default: 1.25)",
+    )
     args = parser.parse_args()
     if args.tolerance <= 0:
         print("bench_gate: --tolerance must be positive", file=sys.stderr)
         sys.exit(2)
+    if args.quality_slack <= 0:
+        print("bench_gate: --quality-slack must be positive", file=sys.stderr)
+        sys.exit(2)
+    family_tolerance = {}
+    for override in args.family_tolerance:
+        protocol, _, factor = override.partition("=")
+        try:
+            factor = float(factor)
+        except ValueError:
+            factor = 0.0
+        if not protocol or factor <= 0:
+            print(
+                f"bench_gate: --family-tolerance `{override}` is not "
+                f"PROTO=X with positive X",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        family_tolerance[protocol] = factor
+    quality_pairs = []
+    for pair in args.quality_pair:
+        opt, _, proj = pair.partition(":")
+        if not opt or not proj:
+            print(
+                f"bench_gate: --quality-pair `{pair}` is not OPT:PROJ",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        quality_pairs.append((opt, proj))
 
     baseline = best_ns_per_op(load(args.baseline), "baseline")
     current = best_ns_per_op(load(args.current), "current")
@@ -124,39 +187,90 @@ def main():
 
     # Every row is compared before any verdict is acted on: a perf PR
     # gets the complete regression picture — each offending protocol
-    # with its slowdown ratio, worst first — from a single CI run.
+    # with its slowdown ratio and the tolerance it was held to, worst
+    # first — from a single CI run.
     regressions = []
-    print(f"{'protocol':<22} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict")
+    print(
+        f"{'protocol':<30} {'baseline':>12} {'current':>12} {'ratio':>8} "
+        f"{'tol':>6}  verdict"
+    )
     for protocol in sorted(baseline):
         base = baseline[protocol]
+        tolerance = family_tolerance.get(protocol, args.tolerance)
         if protocol not in current:
-            print(f"{protocol:<22} {base:>12.1f} {'MISSING':>12} {'-':>8}  FAIL")
+            print(
+                f"{protocol:<30} {base:>12.1f} {'MISSING':>12} {'-':>8} "
+                f"{tolerance:>6.2f}  FAIL"
+            )
             regressions.append((float("inf"), f"{protocol}: missing from current run"))
             continue
         cur = current[protocol]
         ratio = cur / base if base > 0 else float("inf")
-        verdict = "ok" if ratio <= args.tolerance else "FAIL"
-        print(f"{protocol:<22} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f}  {verdict}")
+        verdict = "ok" if ratio <= tolerance else "FAIL"
+        print(
+            f"{protocol:<30} {base:>12.1f} {cur:>12.1f} {ratio:>8.2f} "
+            f"{tolerance:>6.2f}  {verdict}"
+        )
         if verdict == "FAIL":
             regressions.append(
                 (
                     ratio,
                     f"{protocol}: {cur:.1f} ns/op vs baseline {base:.1f} "
-                    f"({ratio:.2f}x > {args.tolerance}x)",
+                    f"({ratio:.2f}x > tolerance {tolerance}x)",
                 )
             )
     for protocol in sorted(set(current) - set(baseline)):
-        print(f"{protocol:<22} {'-':>12} {current[protocol]:>12.1f} {'-':>8}  new")
+        print(
+            f"{protocol:<30} {'-':>12} {current[protocol]:>12.1f} {'-':>8} "
+            f"{'-':>6}  new"
+        )
 
-    if regressions or failures:
-        count = len(regressions) + len(failures)
+    # Optimiser quality loop: the chosen AMR variant must beat the
+    # unoptimised projection it replaced. The committed baseline carries
+    # the full measurement budget, so a loss there is a bad pick, not
+    # noise; the fresh (quick) run gets the slack factor.
+    quality_failures = []
+    if quality_pairs:
+        print(f"\n{'quality pair':<44} {'opt':>10} {'proj':>10} {'ratio':>8}  verdict")
+    for opt, proj in quality_pairs:
+        for run_name, run, limit in (
+            ("baseline", baseline, 1.0),
+            ("current", current, args.quality_slack),
+        ):
+            label = f"{opt} vs {proj} [{run_name}]"
+            missing = [row for row in (opt, proj) if row not in run]
+            if missing:
+                print(f"{label:<44} {'-':>10} {'-':>10} {'-':>8}  FAIL")
+                quality_failures.append(
+                    f"{label}: row(s) missing from {run_name} run: "
+                    f"{', '.join(missing)}"
+                )
+                continue
+            ratio = run[opt] / run[proj] if run[proj] > 0 else float("inf")
+            verdict = "ok" if ratio <= limit else "FAIL"
+            print(
+                f"{label:<44} {run[opt]:>10.1f} {run[proj]:>10.1f} "
+                f"{ratio:>8.2f}  {verdict}"
+            )
+            if verdict == "FAIL":
+                quality_failures.append(
+                    f"{label}: optimised {run[opt]:.1f} ns/op does not beat "
+                    f"projection {run[proj]:.1f} ({ratio:.2f}x > {limit}x) — "
+                    f"the optimiser's pick lost on the bench"
+                )
+
+    if regressions or failures or quality_failures:
+        count = len(regressions) + len(failures) + len(quality_failures)
         print(f"\nbench_gate: {count} failure(s), worst first:", file=sys.stderr)
         for _, message in sorted(regressions, key=lambda r: -r[0]):
             print(f"  {message}", file=sys.stderr)
-        for failure in failures:
+        for failure in failures + quality_failures:
             print(f"  {failure}", file=sys.stderr)
         sys.exit(1)
-    print(f"\nbench_gate: all protocols within {args.tolerance}x of baseline")
+    extra = (
+        f", {len(quality_pairs)} quality pair(s) hold" if quality_pairs else ""
+    )
+    print(f"\nbench_gate: all protocols within tolerance{extra}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Schema check for `rumpsteak-gen --optimise --report` output.
+
+Usage:
+    check_report.py REPORT.json
+
+The report is a JSON array with one object per role. Every object must
+carry the full field set — search statistics, the cost-model provenance
+(`cost_source`, `pruned`, per-candidate `estimated_saving_ns`), the
+chosen rewrite derivation — with internally consistent values:
+
+* `improved` is true exactly when `best` is present,
+* `best`, when present, is the first entry of `candidates`,
+* `candidates` lists exactly the `verified` candidates, and
+* `verified` never exceeds `generated`.
+
+A report that parses but violates the schema exits 1 with one line per
+problem; unreadable input exits 2. CI runs this against a freshly
+generated report so the machine-readable surface downstream tooling
+consumes (plots, the bench quality gate's provenance) cannot drift
+silently.
+"""
+
+import json
+import math
+import sys
+
+COST_SOURCES = {"default-table", "measured"}
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_saving(value):
+    return value is None or (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_candidate(where, candidate, problems):
+    if not isinstance(candidate, dict):
+        problems.append(f"{where}: not an object")
+        return
+    if not isinstance(candidate.get("local"), str) or not candidate.get("local"):
+        problems.append(f"{where}: `local` is not a non-empty string")
+    if not is_count(candidate.get("score")):
+        problems.append(f"{where}: `score` is not a non-negative integer")
+    if not is_count(candidate.get("states")) or candidate.get("states") == 0:
+        problems.append(f"{where}: `states` is not a positive integer")
+    if not is_count(candidate.get("visited_pairs")):
+        problems.append(f"{where}: `visited_pairs` is not a non-negative integer")
+    if "estimated_saving_ns" not in candidate:
+        problems.append(f"{where}: missing `estimated_saving_ns`")
+    elif not is_saving(candidate["estimated_saving_ns"]):
+        problems.append(f"{where}: `estimated_saving_ns` is not null or finite")
+
+
+def check_role(index, report, problems):
+    if not isinstance(report, dict):
+        problems.append(f"report[{index}]: not an object")
+        return
+    role = report.get("role")
+    where = f"report[{index}] ({role})" if isinstance(role, str) else f"report[{index}]"
+    if not isinstance(role, str) or not role:
+        problems.append(f"{where}: `role` is not a non-empty string")
+    if not isinstance(report.get("projection"), str) or not report.get("projection"):
+        problems.append(f"{where}: `projection` is not a non-empty string")
+    for key in ("generated", "pruned", "verified", "bound"):
+        if not is_count(report.get(key)):
+            problems.append(f"{where}: `{key}` is not a non-negative integer")
+    for key in ("truncated", "improved"):
+        if not isinstance(report.get(key), bool):
+            problems.append(f"{where}: `{key}` is not a boolean")
+    if "cost_source" not in report:
+        problems.append(f"{where}: missing `cost_source`")
+    elif report["cost_source"] is not None and report["cost_source"] not in COST_SOURCES:
+        problems.append(
+            f"{where}: `cost_source` is not null or one of "
+            f"{sorted(COST_SOURCES)}: {report['cost_source']!r}"
+        )
+
+    candidates = report.get("candidates")
+    if not isinstance(candidates, list):
+        problems.append(f"{where}: `candidates` is not an array")
+        candidates = []
+    for position, candidate in enumerate(candidates):
+        check_candidate(f"{where}.candidates[{position}]", candidate, problems)
+    if is_count(report.get("verified")) and len(candidates) != report["verified"]:
+        problems.append(
+            f"{where}: `candidates` lists {len(candidates)} entries but "
+            f"`verified` is {report['verified']}"
+        )
+    if is_count(report.get("verified")) and is_count(report.get("generated")):
+        if report["verified"] > report["generated"]:
+            problems.append(
+                f"{where}: `verified` {report['verified']} exceeds "
+                f"`generated` {report['generated']}"
+            )
+
+    best = report.get("best", "absent")
+    if best == "absent":
+        problems.append(f"{where}: missing `best`")
+        best = None
+    if report.get("improved") is not None and report.get("improved") != (
+        best is not None
+    ):
+        problems.append(f"{where}: `improved` disagrees with `best` being present")
+    if best is not None:
+        check_candidate(f"{where}.best", best, problems)
+        if isinstance(best, dict):
+            derivation = best.get("derivation")
+            if (
+                not isinstance(derivation, list)
+                or not derivation
+                or not all(isinstance(step, str) and step for step in derivation)
+            ):
+                problems.append(
+                    f"{where}.best: `derivation` is not a non-empty array "
+                    f"of step strings"
+                )
+            if (
+                candidates
+                and isinstance(candidates[0], dict)
+                and best.get("local") != candidates[0].get("local")
+            ):
+                problems.append(
+                    f"{where}: `best` is not the first ranked candidate"
+                )
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            reports = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"check_report: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+    problems = []
+    if not isinstance(reports, list) or not reports:
+        problems.append("report is not a non-empty JSON array of role objects")
+    else:
+        for index, report in enumerate(reports):
+            check_role(index, report, problems)
+
+    if problems:
+        print(f"check_report: {path}: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        sys.exit(1)
+    roles = sum(1 for r in reports if isinstance(r, dict))
+    improved = sum(1 for r in reports if isinstance(r, dict) and r.get("improved"))
+    print(f"check_report: {path}: {roles} role(s) valid, {improved} improved")
+
+
+if __name__ == "__main__":
+    main()
